@@ -1,0 +1,500 @@
+package mhla
+
+// The benchmark harness regenerates every figure and headline claim
+// of the paper's evaluation (see the experiment index in DESIGN.md):
+//
+//	BenchmarkFigure2/<app>     — normalized execution time of the four
+//	                             operating points (original, MHLA,
+//	                             MHLA+TE, ideal) per application
+//	BenchmarkFigure3/<app>     — normalized memory energy per app
+//	BenchmarkExploration/<app> — trade-off sweep over L1 sizes (E1)
+//	BenchmarkAblation*         — design-choice ablations (A1..A3)
+//	Benchmark<component>       — tool-performance microbenchmarks
+//
+// The reported custom metrics carry the figure data: e.g.
+// "mhla_pct" is the MHLA execution time as a percentage of the
+// original code (Figure 2's bar height). Run with:
+//
+//	go test -bench=. -benchmem
+import (
+	"testing"
+
+	"mhla/internal/apps"
+	"mhla/internal/assign"
+	"mhla/internal/core"
+	"mhla/internal/dmasim"
+	"mhla/internal/energy"
+	"mhla/internal/explore"
+	"mhla/internal/layout"
+	"mhla/internal/model"
+	"mhla/internal/multitask"
+	"mhla/internal/reuse"
+	"mhla/internal/sim"
+	"mhla/internal/te"
+	"mhla/internal/transform"
+)
+
+// runApp executes the full flow at paper scale on the app's figure
+// configuration.
+func runApp(b *testing.B, app apps.App, opts assign.Options) *core.Result {
+	b.Helper()
+	res, err := core.Run(app.Build(apps.Paper), core.Config{Platform: energy.TwoLevel(app.L1), Search: opts})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkFigure2 regenerates the performance figure: for every
+// application it reports the MHLA, MHLA+TE and ideal execution times
+// as percentages of the original code, plus the TE boost over MHLA.
+func BenchmarkFigure2(b *testing.B) {
+	for _, app := range apps.All() {
+		app := app
+		b.Run(app.Name, func(b *testing.B) {
+			var res *core.Result
+			for i := 0; i < b.N; i++ {
+				res = runApp(b, app, assign.DefaultOptions())
+			}
+			g := res.Gains()
+			b.ReportMetric(100*g.MHLACycles, "mhla_pct")
+			b.ReportMetric(100*g.TECycles, "te_pct")
+			b.ReportMetric(100*g.IdealCycles, "ideal_pct")
+			b.ReportMetric(100*res.TEBoost(), "te_boost_pct")
+		})
+	}
+}
+
+// BenchmarkFigure3 regenerates the energy figure: the MHLA energy as
+// a percentage of the original code (TE leaves energy unchanged, as
+// in the paper).
+func BenchmarkFigure3(b *testing.B) {
+	for _, app := range apps.All() {
+		app := app
+		b.Run(app.Name, func(b *testing.B) {
+			var res *core.Result
+			for i := 0; i < b.N; i++ {
+				res = runApp(b, app, assign.DefaultOptions())
+			}
+			g := res.Gains()
+			b.ReportMetric(100*g.MHLAEnergy, "energy_pct")
+			if res.TE.Energy != res.MHLA.Energy {
+				b.Fatalf("TE changed energy: %v -> %v", res.MHLA.Energy, res.TE.Energy)
+			}
+		})
+	}
+}
+
+// BenchmarkExploration regenerates the trade-off exploration (E1):
+// a sweep of the on-chip size, reporting the Pareto frontier size and
+// the energy span across the sweep.
+func BenchmarkExploration(b *testing.B) {
+	for _, name := range []string{"me", "qsdpcm", "durbin"} {
+		app, err := apps.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			var sw *explore.Sweep
+			for i := 0; i < b.N; i++ {
+				var err error
+				sw, err = explore.Run(app.Build(apps.Paper), explore.DefaultSizes(), assign.DefaultOptions())
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			front := sw.Frontier()
+			b.ReportMetric(float64(len(sw.Points)), "sweep_points")
+			b.ReportMetric(float64(len(front)), "frontier_points")
+			minE, maxE := sw.Points[0].Result.TE.Energy, sw.Points[0].Result.TE.Energy
+			for _, p := range sw.Points {
+				if e := p.Result.TE.Energy; e < minE {
+					minE = e
+				} else if e > maxE {
+					maxE = e
+				}
+			}
+			b.ReportMetric(maxE/minE, "energy_spread_x")
+		})
+	}
+}
+
+// BenchmarkAblationInplace quantifies the in-place (lifetime-aware)
+// size estimation (A1). The effect binds where the per-phase buffers
+// fit a layer only through lifetime sharing — for the multi-phase
+// wavelet that window is around 6 KiB (at the figure sizes the
+// buffers of these apps happen to fit even statically, so the
+// comparison runs at the binding sizes).
+func BenchmarkAblationInplace(b *testing.B) {
+	cases := []struct {
+		name string
+		l1   int64
+	}{
+		{"wavelet", 6144},
+		{"cavity", 7168},
+		{"qsdpcm", 1024},
+	}
+	for _, c := range cases {
+		app, err := apps.ByName(c.name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prog := app.Build(apps.Paper)
+		b.Run(c.name, func(b *testing.B) {
+			var with, without *core.Result
+			for i := 0; i < b.N; i++ {
+				opts := assign.DefaultOptions()
+				var err error
+				with, err = core.Run(prog, core.Config{Platform: energy.TwoLevel(c.l1), Search: opts})
+				if err != nil {
+					b.Fatal(err)
+				}
+				opts.InPlace = false
+				without, err = core.Run(prog, core.Config{Platform: energy.TwoLevel(c.l1), Search: opts})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(100*with.Gains().MHLAEnergy, "inplace_energy_pct")
+			b.ReportMetric(100*without.Gains().MHLAEnergy, "static_energy_pct")
+		})
+	}
+}
+
+// BenchmarkAblationPolicy quantifies inter-iteration reuse (A2):
+// the slide transfer policy against full refetching.
+func BenchmarkAblationPolicy(b *testing.B) {
+	for _, name := range []string{"me", "sobel", "voice"} {
+		app, err := apps.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			var slide, refetch *core.Result
+			for i := 0; i < b.N; i++ {
+				opts := assign.DefaultOptions()
+				opts.Policy = reuse.Slide
+				slide = runApp(b, app, opts)
+				opts.Policy = reuse.Refetch
+				refetch = runApp(b, app, opts)
+			}
+			b.ReportMetric(100*slide.Gains().MHLAEnergy, "slide_energy_pct")
+			b.ReportMetric(100*refetch.Gains().MHLAEnergy, "refetch_energy_pct")
+		})
+	}
+}
+
+// BenchmarkAblationSearch compares the greedy engine of the MHLA tool
+// against the branch-and-bound optimum (A3) on down-scaled workloads
+// where the exact engine is tractable.
+func BenchmarkAblationSearch(b *testing.B) {
+	for _, name := range []string{"durbin", "sobel", "voice"} {
+		app, err := apps.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			prog := app.Build(apps.Test)
+			plat := energy.TwoLevel(app.L1)
+			an, err := reuse.Analyze(prog)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var greedy, optimal *assign.Result
+			for i := 0; i < b.N; i++ {
+				opts := assign.DefaultOptions()
+				greedy, err = assign.Search(an, plat, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				opts.Engine = assign.BranchBound
+				optimal, err = assign.Search(an, plat, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if !optimal.Complete {
+				b.Fatal("branch-and-bound incomplete")
+			}
+			b.ReportMetric(greedy.Cost.Energy/optimal.Cost.Energy, "greedy_vs_opt_x")
+			b.ReportMetric(float64(greedy.States), "greedy_states")
+			b.ReportMetric(float64(optimal.States), "bnb_states")
+		})
+	}
+}
+
+// BenchmarkReuseAnalysis measures the copy-candidate derivation on
+// the paper-scale applications (tool performance).
+func BenchmarkReuseAnalysis(b *testing.B) {
+	for _, name := range []string{"me", "qsdpcm", "jpeg"} {
+		app, err := apps.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prog := app.Build(apps.Paper)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := reuse.Analyze(prog); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAssignmentSearch measures the greedy assignment step alone.
+func BenchmarkAssignmentSearch(b *testing.B) {
+	for _, name := range []string{"me", "qsdpcm", "cavity"} {
+		app, err := apps.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prog := app.Build(apps.Paper)
+		an, err := reuse.Analyze(prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plat := energy.TwoLevel(app.L1)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := assign.Search(an, plat, assign.DefaultOptions()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTimeExtension measures the Figure-1 TE step alone.
+func BenchmarkTimeExtension(b *testing.B) {
+	for _, name := range []string{"me", "qsdpcm"} {
+		app, err := apps.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prog := app.Build(apps.Paper)
+		an, err := reuse.Analyze(prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sr, err := assign.Search(an, energy.TwoLevel(app.L1), assign.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := te.Extend(sr.Assignment); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTraceSimulator measures the element-level validation
+// simulator on the down-scaled workloads it is meant for.
+func BenchmarkTraceSimulator(b *testing.B) {
+	for _, name := range []string{"me", "cavity"} {
+		app, err := apps.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prog := app.Build(apps.Test)
+		an, err := reuse.Analyze(prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sr, err := assign.Search(an, energy.TwoLevel(app.L1), assign.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Trace(sr.Assignment, sim.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationWrites quantifies the write-back overlap extension
+// (A4, beyond the paper's Figure 1): plan TE with and without
+// ExtendWrites and report the remaining stall cycles.
+func BenchmarkAblationWrites(b *testing.B) {
+	for _, name := range []string{"wavelet", "cavity"} {
+		app, err := apps.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prog := app.Build(apps.Paper)
+		an, err := reuse.Analyze(prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sr, err := assign.Search(an, energy.TwoLevel(app.L1), assign.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			var def, wr *te.Plan
+			for i := 0; i < b.N; i++ {
+				def, err = te.Extend(sr.Assignment)
+				if err != nil {
+					b.Fatal(err)
+				}
+				wr, err = te.ExtendWithOptions(sr.Assignment, te.Options{ExtendWrites: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			dc := def.Assignment.Evaluate(assign.EvalOptions{Hidden: def.Hidden()})
+			wc := wr.Assignment.Evaluate(assign.EvalOptions{Hidden: wr.Hidden()})
+			b.ReportMetric(float64(dc.StallCycles), "stall_default")
+			b.ReportMetric(float64(wc.StallCycles), "stall_writes")
+		})
+	}
+}
+
+// BenchmarkHierarchyDepth compares the two-level figure platform
+// against a three-level hierarchy at equal total on-chip capacity
+// (A5).
+func BenchmarkHierarchyDepth(b *testing.B) {
+	for _, name := range []string{"me", "qsdpcm"} {
+		app, err := apps.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prog := app.Build(apps.Paper)
+		b.Run(name, func(b *testing.B) {
+			var two, three *core.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				two, err = core.Run(prog, core.Config{Platform: energy.TwoLevel(app.L1)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				three, err = core.Run(prog, core.Config{Platform: energy.ThreeLevel(app.L1/4, app.L1-app.L1/4)})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(100*two.Gains().MHLAEnergy, "two_level_energy_pct")
+			b.ReportMetric(100*three.Gains().MHLAEnergy, "three_level_energy_pct")
+		})
+	}
+}
+
+// BenchmarkAblationBlocking measures the loop-transformation
+// pre-step (A6): MHLA on a naive matrix multiply against the
+// tile+interchange blocked version.
+func BenchmarkAblationBlocking(b *testing.B) {
+	const n = 64
+	build := func() *model.Program {
+		p := model.NewProgram("matmul")
+		ma := p.NewInput("a", 2, n, n)
+		mb := p.NewInput("b", 2, n, n)
+		mc := p.NewOutput("c", 2, n, n)
+		p.AddBlock("mm",
+			model.For("i", n, model.For("j", n,
+				model.For("k", n,
+					model.Load(ma, model.Idx("i"), model.Idx("k")),
+					model.Load(mb, model.Idx("k"), model.Idx("j")),
+					model.Work(2),
+				),
+				model.Store(mc, model.Idx("i"), model.Idx("j")))))
+		return p
+	}
+	var naive, blocked *core.Result
+	for i := 0; i < b.N; i++ {
+		p := build()
+		tiled, err := transform.Tile(p, "mm", "j", 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		q, err := transform.Interchange(tiled, "mm", "i")
+		if err != nil {
+			b.Fatal(err)
+		}
+		plat := energy.TwoLevel(4096)
+		naive, err = core.Run(p, core.Config{Platform: plat})
+		if err != nil {
+			b.Fatal(err)
+		}
+		blocked, err = core.Run(q, core.Config{Platform: plat})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(naive.MHLA.Energy/blocked.MHLA.Energy, "blocking_energy_x")
+	b.ReportMetric(float64(naive.MHLA.Cycles)/float64(blocked.MHLA.Cycles), "blocking_cycles_x")
+}
+
+// BenchmarkEventSimulator measures the event-driven DMA timeline
+// simulator on paper-scale motion estimation.
+func BenchmarkEventSimulator(b *testing.B) {
+	app, err := apps.ByName("me")
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := core.Run(app.Build(apps.Paper), core.Config{Platform: energy.TwoLevel(app.L1)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := dmasim.Simulate(res.Plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLayout measures the in-place address mapper across the
+// nine figure assignments.
+func BenchmarkLayout(b *testing.B) {
+	var plans []*te.Plan
+	for _, app := range apps.All() {
+		res, err := core.Run(app.Build(apps.Paper), core.Config{Platform: energy.TwoLevel(app.L1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		plans = append(plans, res.Plan)
+	}
+	b.ResetTimer()
+	var frag int64
+	for i := 0; i < b.N; i++ {
+		frag = 0
+		for _, plan := range plans {
+			maps, err := layout.Map(plan.Assignment)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, m := range maps {
+				frag += m.Fragmentation()
+			}
+		}
+	}
+	b.ReportMetric(float64(frag), "total_frag_bytes")
+}
+
+// BenchmarkMultiTask measures the future-work multi-task partitioning
+// on three audio/image tasks sharing an 8 KiB scratchpad.
+func BenchmarkMultiTask(b *testing.B) {
+	var tasks []multitask.Task
+	for _, name := range []string{"durbin", "voice", "sobel"} {
+		app, err := apps.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tasks = append(tasks, multitask.Task{Name: name, Program: app.Build(apps.Test)})
+	}
+	var plan *multitask.Plan
+	for i := 0; i < b.N; i++ {
+		var err error
+		plan, err = multitask.Partition(tasks, 8192, assign.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(plan.Used()), "bytes_used")
+	b.ReportMetric(plan.TotalEnergy, "total_pj")
+}

@@ -1,0 +1,72 @@
+// Command mhla-explore sweeps the on-chip layer size for one
+// application, running the full MHLA+TE flow at every point, and
+// prints the trade-off table, its Pareto frontier and (optionally)
+// CSV for external plotting. This regenerates the paper's trade-off
+// exploration (experiment E1 in DESIGN.md).
+//
+// Usage:
+//
+//	mhla-explore -app qsdpcm
+//	mhla-explore -app me -sizes 512,1024,2048,4096
+//	mhla-explore -app cavity -csv > cavity.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"mhla/internal/apps"
+	"mhla/internal/assign"
+	"mhla/internal/explore"
+	"mhla/internal/pareto"
+)
+
+func main() {
+	var (
+		appName = flag.String("app", "qsdpcm", "application to explore")
+		sizeCSV = flag.String("sizes", "", "comma-separated L1 sizes in bytes (default 256..64K powers of two)")
+		scale   = flag.String("scale", "paper", "workload scale: paper or test")
+		emitCSV = flag.Bool("csv", false, "emit CSV instead of tables")
+	)
+	flag.Parse()
+
+	app, err := apps.ByName(*appName)
+	if err != nil {
+		fatal(err)
+	}
+	sc := apps.Paper
+	if *scale == "test" {
+		sc = apps.Test
+	}
+	var sizes []int64
+	if *sizeCSV != "" {
+		for _, s := range strings.Split(*sizeCSV, ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+			if err != nil || v <= 0 {
+				fatal(fmt.Errorf("bad size %q", s))
+			}
+			sizes = append(sizes, v)
+		}
+	}
+
+	sw, err := explore.Run(app.Build(sc), sizes, assign.DefaultOptions())
+	if err != nil {
+		fatal(err)
+	}
+	if *emitCSV {
+		fmt.Print(sw.CSV())
+		return
+	}
+	fmt.Print(sw)
+	fmt.Println()
+	fmt.Println("Pareto frontier (MHLA+TE points):")
+	fmt.Print(pareto.Render(sw.Frontier()))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mhla-explore:", err)
+	os.Exit(1)
+}

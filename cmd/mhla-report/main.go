@@ -1,0 +1,60 @@
+// Command mhla-report regenerates the paper's evaluation: it runs the
+// full MHLA+TE flow on all nine applications at their figure
+// configurations and renders Figure 2 (performance), Figure 3
+// (energy) and the abstract's headline claims.
+//
+// Usage:
+//
+//	mhla-report              # both figures + summary
+//	mhla-report -figure 2    # performance figure only
+//	mhla-report -csv         # machine-readable results
+//	mhla-report -scale test  # down-scaled (fast) workloads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mhla/internal/apps"
+	"mhla/internal/core"
+	"mhla/internal/energy"
+	"mhla/internal/report"
+)
+
+func main() {
+	var (
+		figure  = flag.Int("figure", 0, "figure to render: 2, 3, or 0 for both")
+		emitCSV = flag.Bool("csv", false, "emit CSV instead of figures")
+		scale   = flag.String("scale", "paper", "workload scale: paper or test")
+	)
+	flag.Parse()
+
+	sc := apps.Paper
+	if *scale == "test" {
+		sc = apps.Test
+	}
+	var results []report.AppResult
+	for _, app := range apps.All() {
+		res, err := core.Run(app.Build(sc), core.Config{Platform: energy.TwoLevel(app.L1)})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mhla-report: %s: %v\n", app.Name, err)
+			os.Exit(1)
+		}
+		results = append(results, report.AppResult{Name: app.Name, Result: res})
+	}
+
+	if *emitCSV {
+		fmt.Print(report.CSV(results))
+		return
+	}
+	if *figure == 0 || *figure == 2 {
+		fmt.Print(report.Figure2(results))
+		fmt.Println()
+	}
+	if *figure == 0 || *figure == 3 {
+		fmt.Print(report.Figure3(results))
+		fmt.Println()
+	}
+	fmt.Print(report.Summary(results))
+}

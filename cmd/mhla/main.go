@@ -1,0 +1,162 @@
+// Command mhla runs the full MHLA-with-time-extensions flow on one of
+// the nine benchmark applications and prints the resulting assignment,
+// prefetch plan and the four operating points of the paper's figures.
+//
+// Usage:
+//
+//	mhla -app me                 # paper-scale run on the app's default L1
+//	mhla -app cavity -l1 4096    # override the on-chip size
+//	mhla -app me -objective time # optimize cycles instead of energy
+//	mhla -app me -no-te          # skip the time-extension step
+//	mhla -app me -verbose        # also dump the assignment and TE plan
+//	mhla -model fir.json         # explore an external JSON application
+//	mhla -app me -platform p.json  # explore on an external platform
+//	mhla -list                   # list the applications
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mhla/internal/apps"
+	"mhla/internal/assign"
+	"mhla/internal/core"
+	"mhla/internal/energy"
+	"mhla/internal/layout"
+	"mhla/internal/model"
+	"mhla/internal/modelio"
+	"mhla/internal/reuse"
+)
+
+func main() {
+	var (
+		appName   = flag.String("app", "me", "application to run (see -list)")
+		l1        = flag.Int64("l1", 0, "on-chip scratchpad bytes (0 = application default)")
+		scale     = flag.String("scale", "paper", "workload scale: paper or test")
+		objective = flag.String("objective", "energy", "search objective: energy, time or edp")
+		engine    = flag.String("engine", "greedy", "search engine: greedy, bnb or exhaustive")
+		policy    = flag.String("policy", "slide", "copy transfer policy: slide or refetch")
+		noTE      = flag.Bool("no-te", false, "skip the time-extension step")
+		noDMA     = flag.Bool("no-dma", false, "platform without a DMA engine (TE not applicable)")
+		noInplace = flag.Bool("no-inplace", false, "disable lifetime-aware (in-place) size estimation")
+		verbose   = flag.Bool("verbose", false, "print the assignment and the TE plan")
+		list      = flag.Bool("list", false, "list the available applications")
+		modelFile = flag.String("model", "", "JSON application model file (overrides -app)")
+		platFile  = flag.String("platform", "", "JSON platform file (overrides -l1/-no-dma)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range apps.All() {
+			fmt.Printf("%-8s %-18s L1=%-6d %s\n", a.Name, a.Domain, a.L1, a.Description)
+		}
+		return
+	}
+
+	sc := apps.Paper
+	if *scale == "test" {
+		sc = apps.Test
+	}
+	var prog *model.Program
+	name := *appName
+	size := int64(0)
+	if *modelFile != "" {
+		data, err := os.ReadFile(*modelFile)
+		if err != nil {
+			fatal(err)
+		}
+		prog, err = modelio.DecodeProgram(data)
+		if err != nil {
+			fatal(err)
+		}
+		name = prog.Name
+		size = 4096
+	} else {
+		app, err := apps.ByName(name)
+		if err != nil {
+			fatal(err)
+		}
+		prog = app.Build(sc)
+		size = app.L1
+	}
+	if *l1 > 0 {
+		size = *l1
+	}
+	plat := energy.TwoLevel(size)
+	if *noDMA {
+		plat = energy.TwoLevelNoDMA(size)
+	}
+	if *platFile != "" {
+		data, err := os.ReadFile(*platFile)
+		if err != nil {
+			fatal(err)
+		}
+		plat, err = modelio.DecodePlatform(data)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	opts := assign.DefaultOptions()
+	switch *objective {
+	case "energy":
+		opts.Objective = assign.MinEnergy
+	case "time":
+		opts.Objective = assign.MinTime
+	case "edp":
+		opts.Objective = assign.MinEDP
+	default:
+		fatal(fmt.Errorf("unknown objective %q", *objective))
+	}
+	switch *engine {
+	case "greedy":
+		opts.Engine = assign.Greedy
+	case "bnb":
+		opts.Engine = assign.BranchBound
+	case "exhaustive":
+		opts.Engine = assign.Exhaustive
+	default:
+		fatal(fmt.Errorf("unknown engine %q", *engine))
+	}
+	switch *policy {
+	case "slide":
+		opts.Policy = reuse.Slide
+	case "refetch":
+		opts.Policy = reuse.Refetch
+	default:
+		fatal(fmt.Errorf("unknown policy %q", *policy))
+	}
+	opts.InPlace = !*noInplace
+
+	res, err := core.Run(prog, core.Config{Platform: plat, Search: opts, DisableTE: *noTE})
+	if err != nil {
+		fatal(err)
+	}
+
+	st := prog.Stats()
+	fmt.Printf("%s (%s scale): %d arrays, %d blocks, %d loops, %d accesses\n",
+		name, sc, st.Arrays, st.Blocks, st.Loops, st.AccessesExec)
+	fmt.Print(plat)
+	if *verbose {
+		fmt.Println()
+		fmt.Print(res.Assignment)
+		fmt.Println()
+		fmt.Print(res.Assignment.ExplainString())
+		fmt.Println()
+		fmt.Print(res.Plan)
+		if maps, err := layout.Map(res.Plan.Assignment); err == nil {
+			for _, m := range maps {
+				fmt.Println()
+				fmt.Print(m)
+			}
+		}
+	}
+	fmt.Println()
+	fmt.Print(res.Summary())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mhla:", err)
+	os.Exit(1)
+}

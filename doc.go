@@ -1,0 +1,22 @@
+// Package mhla is a from-scratch Go reproduction of
+//
+//	M. Dasygenis, E. Brockmeyer, B. Durinck, F. Catthoor, D. Soudris,
+//	A. Thanailakis. "A Memory Hierarchical Layer Assigning and
+//	Prefetching Technique to Overcome the Memory Performance/Energy
+//	Bottleneck." DATE 2005.
+//
+// The library implements the complete tool flow: the application
+// model (internal/model), data-reuse analysis deriving copy-candidate
+// chains (internal/reuse), the platform and memory energy models
+// (internal/platform, internal/energy), lifetime-aware layer
+// assignment (internal/lifetime, internal/assign), the time-extension
+// prefetch scheduler of the paper's Figure 1 (internal/te), an
+// element-level validation simulator (internal/sim), the nine
+// benchmark applications of the evaluation (internal/apps), and the
+// exploration/reporting layers that regenerate the paper's figures
+// (internal/explore, internal/pareto, internal/report, internal/core).
+//
+// The root-level benchmarks in bench_test.go regenerate every figure
+// of the paper; see DESIGN.md for the experiment index and
+// EXPERIMENTS.md for paper-vs-measured results.
+package mhla

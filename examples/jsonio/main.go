@@ -1,0 +1,77 @@
+// JSON interchange: export an application model and a platform to
+// JSON, reload them, and run the flow — the path an external
+// front-end (e.g. a C loop-nest extractor) would use to feed the
+// tool.
+//
+//	go run ./examples/jsonio
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"mhla/internal/apps"
+	"mhla/internal/core"
+	"mhla/internal/energy"
+	"mhla/internal/modelio"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "mhla-jsonio")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Export the Sobel model and a 4 KiB platform.
+	app, err := apps.ByName("sobel")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog := app.Build(apps.Test)
+	progJSON, err := modelio.EncodeProgram(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	platJSON, err := modelio.EncodePlatform(energy.TwoLevel(4096))
+	if err != nil {
+		log.Fatal(err)
+	}
+	progPath := filepath.Join(dir, "sobel.json")
+	platPath := filepath.Join(dir, "platform.json")
+	if err := os.WriteFile(progPath, progJSON, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(platPath, platJSON, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d bytes) and %s (%d bytes)\n",
+		progPath, len(progJSON), platPath, len(platJSON))
+
+	// Reload both and run the flow — equivalent to:
+	//   mhla -model sobel.json -platform platform.json
+	progData, err := os.ReadFile(progPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	platData, err := os.ReadFile(platPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reloaded, err := modelio.DecodeProgram(progData)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plat, err := modelio.DecodePlatform(platData)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := core.Run(reloaded, core.Config{Platform: plat})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(res.Summary())
+}

@@ -1,0 +1,37 @@
+// Trade-off exploration: sweep the on-chip size for the QSDPCM video
+// encoder and print the energy/performance trade-off curve and its
+// Pareto frontier — the exploration the paper positions MHLA for.
+//
+//	go run ./examples/tradeoff
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mhla/internal/apps"
+	"mhla/internal/assign"
+	"mhla/internal/explore"
+	"mhla/internal/pareto"
+)
+
+func main() {
+	app, err := apps.ByName("qsdpcm")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sizes := []int64{256, 512, 1024, 2048, 4096, 8192, 16384}
+	sw, err := explore.Run(app.Build(apps.Paper), sizes, assign.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(sw)
+
+	fmt.Println("\nPareto frontier of the MHLA+TE points:")
+	front := sw.Frontier()
+	fmt.Print(pareto.Render(front))
+
+	fmt.Println("\nReading the curve: small scratchpads leave traffic off-chip")
+	fmt.Println("(high energy, slow); very large ones cost more per access.")
+	fmt.Println("The frontier points are the sizes a designer would pick from.")
+}

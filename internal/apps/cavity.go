@@ -1,0 +1,97 @@
+package apps
+
+import "mhla/internal/model"
+
+// CavityParams parameterize the cavity-detection pipeline, a classic
+// IMEC medical-imaging benchmark: two separable gauss blurs, an edge
+// (gradient) pass and a windowed maximum detection.
+type CavityParams struct {
+	// ImageH, ImageW are the input image dimensions.
+	ImageH, ImageW int
+	// GaussTaps is the blur kernel length (odd).
+	GaussTaps int
+	// FilterCycles prices one multiply-accumulate; DetectCycles one
+	// comparison in the maximum detector.
+	FilterCycles, DetectCycles int64
+}
+
+// DefaultCavityParams returns the paper-scale 640x400 image.
+func DefaultCavityParams() CavityParams {
+	return CavityParams{ImageH: 400, ImageW: 640, GaussTaps: 5, FilterCycles: 3, DetectCycles: 2}
+}
+
+// TestCavityParams returns the down-scaled trace-friendly workload.
+func TestCavityParams() CavityParams {
+	return CavityParams{ImageH: 24, ImageW: 32, GaussTaps: 5, FilterCycles: 3, DetectCycles: 2}
+}
+
+// BuildCavity builds the detector at the given scale.
+func BuildCavity(s Scale) *model.Program {
+	if s == Test {
+		return BuildCavityWith(TestCavityParams())
+	}
+	return BuildCavityWith(DefaultCavityParams())
+}
+
+// BuildCavityWith builds the four-phase pipeline:
+//
+//	gauss-x : horizontal blur        gx[y][x]  = sum_k img[y][x+k]
+//	gauss-y : vertical blur          gxy[y][x] = sum_k gx[y+k][x]
+//	edge    : 3x3 gradient           e[y][x]   = f(gxy[y..y+2][x..x+2])
+//	detect  : 3x3 maximum detection  out[y][x] = max(e[y..y+2][x..x+2])
+//
+// Each phase shrinks the valid region by its kernel overlap; the
+// intermediate images are sized to the consumed region so every
+// access is in bounds.
+func BuildCavityWith(pr CavityParams) *model.Program {
+	t := pr.GaussTaps
+	h0, w0 := pr.ImageH, pr.ImageW
+	w1 := w0 - t + 1 // after gauss-x
+	h2 := h0 - t + 1 // after gauss-y
+	h3, w3 := h2-2, w1-2
+	h4, w4 := h3-2, w3-2
+
+	p := model.NewProgram("cavity")
+	img := p.NewInput("img", 1, h0, w0)
+	gx := p.NewArray("gx", 2, h0, w1)
+	gxy := p.NewArray("gxy", 2, h2, w1)
+	e := p.NewArray("e", 2, h3, w3)
+	out := p.NewOutput("out", 1, h4, w4)
+
+	p.AddBlock("gauss-x",
+		model.For("y", h0, model.For("x", w1,
+			model.For("k", t,
+				model.Load(img, model.Idx("y"), model.Idx("x").Plus(model.Idx("k"))),
+				model.Work(pr.FilterCycles),
+			),
+			model.Store(gx, model.Idx("y"), model.Idx("x")),
+		)))
+
+	p.AddBlock("gauss-y",
+		model.For("y", h2, model.For("x", w1,
+			model.For("k", t,
+				model.Load(gx, model.Idx("y").Plus(model.Idx("k")), model.Idx("x")),
+				model.Work(pr.FilterCycles),
+			),
+			model.Store(gxy, model.Idx("y"), model.Idx("x")),
+		)))
+
+	p.AddBlock("edge",
+		model.For("y", h3, model.For("x", w3,
+			model.For("ky", 3, model.For("kx", 3,
+				model.Load(gxy, model.Idx("y").Plus(model.Idx("ky")), model.Idx("x").Plus(model.Idx("kx"))),
+				model.Work(pr.FilterCycles),
+			)),
+			model.Store(e, model.Idx("y"), model.Idx("x")),
+		)))
+
+	p.AddBlock("detect",
+		model.For("y", h4, model.For("x", w4,
+			model.For("ky", 3, model.For("kx", 3,
+				model.Load(e, model.Idx("y").Plus(model.Idx("ky")), model.Idx("x").Plus(model.Idx("kx"))),
+				model.Work(pr.DetectCycles),
+			)),
+			model.Store(out, model.Idx("y"), model.Idx("x")),
+		)))
+	return p
+}

@@ -1,0 +1,108 @@
+package apps
+
+import "mhla/internal/model"
+
+// DABParams parameterize the Digital-Audio-Broadcast receiver
+// kernels: the OFDM demodulation FFT, symbol deinterleaving and the
+// trellis (Viterbi) metric computation.
+type DABParams struct {
+	// Frames is the number of OFDM symbols processed through the
+	// whole pipeline.
+	Frames int
+	// FFTSize is the OFDM FFT length (a power of two).
+	FFTSize int
+	// States is the trellis state count of the convolutional decoder.
+	States int
+	// Symbols is the number of deinterleaved symbols fed to the
+	// trellis per processed OFDM frame.
+	Symbols int
+	// FFTCycles prices one butterfly; TrellisCycles one add-compare-
+	// select step.
+	FFTCycles, TrellisCycles int64
+}
+
+// DefaultDABParams returns the paper-scale workload: the DAB mode-I
+// 2048-point FFT and a 16-state trellis. Symbols*States must not
+// exceed FFTSize (the deinterleaver gathers from the FFT buffer).
+func DefaultDABParams() DABParams {
+	return DABParams{Frames: 8, FFTSize: 2048, States: 16, Symbols: 128, FFTCycles: 6, TrellisCycles: 4}
+}
+
+// TestDABParams returns the down-scaled trace-friendly workload.
+func TestDABParams() DABParams {
+	return DABParams{Frames: 2, FFTSize: 256, States: 8, Symbols: 32, FFTCycles: 6, TrellisCycles: 4}
+}
+
+// BuildDAB builds the receiver kernels at the given scale.
+func BuildDAB(s Scale) *model.Program {
+	if s == Test {
+		return BuildDABWith(TestDABParams())
+	}
+	return BuildDABWith(DefaultDABParams())
+}
+
+// BuildDABWith builds the three-phase receiver:
+//
+//	fft          : log2(N) in-place butterfly passes over the symbol
+//	               buffer x against the twiddle table tw
+//	deinterleave : strided (transpose-style) gather of x into d
+//	trellis      : per symbol and state, branch metrics against the
+//	               metric table tm, emitting survivors
+//
+// The in-place FFT writes its own input, which (correctly) blocks
+// prefetching of the x fetches; the twiddle and metric tables are
+// read-only and prefetchable — the mix exercises the TE dependence
+// rules.
+func BuildDABWith(pr DABParams) *model.Program {
+	n := pr.FFTSize
+	half := n / 2
+	passes := 0
+	for 1<<passes < n {
+		passes++
+	}
+	rows := pr.Symbols
+	cols := pr.States
+
+	p := model.NewProgram("dab")
+	x := p.NewInput("x", 2, n)
+	tw := p.NewInput("tw", 2, half)
+	d := p.NewArray("d", 2, rows, cols)
+	tm := p.NewInput("tm", 2, pr.States, pr.States)
+	surv := p.NewOutput("surv", 2, rows, pr.States)
+
+	p.AddBlock("fft",
+		model.For("frm", pr.Frames,
+			model.For("pass", passes,
+				model.For("b", half,
+					model.Load(x, model.Idx("b")),
+					model.Load(x, model.Idx("b").PlusConst(half)),
+					model.Load(tw, model.Idx("b")),
+					model.Work(pr.FFTCycles),
+					model.Store(x, model.Idx("b")),
+					model.Store(x, model.Idx("b").PlusConst(half)),
+				))))
+
+	// Transpose-style gather: d[r][c] = x[(cols*r + c) mod n]; the
+	// model keeps the affine form cols*r+c, with rows*cols <= n.
+	p.AddBlock("deinterleave",
+		model.For("frm", pr.Frames,
+			model.For("r", rows,
+				model.For("c", cols,
+					model.Load(x, model.IdxC(cols, "r").Plus(model.Idx("c"))),
+					model.Work(2),
+					model.Store(d, model.Idx("r"), model.Idx("c")),
+				))))
+
+	p.AddBlock("trellis",
+		model.For("frm", pr.Frames,
+			model.For("s", rows,
+				model.For("st", pr.States,
+					model.Load(d, model.Idx("s"), model.Idx("st")),
+					model.For("bm", pr.States,
+						model.Load(tm, model.Idx("st"), model.Idx("bm")),
+						model.Work(pr.TrellisCycles),
+					),
+					model.Store(surv, model.Idx("s"), model.Idx("st")),
+				))))
+	return p
+}

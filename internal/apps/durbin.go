@@ -1,0 +1,79 @@
+package apps
+
+import "mhla/internal/model"
+
+// DurbinParams parameterize the LPC analysis front-end: per-frame
+// autocorrelation followed by the Levinson-Durbin recursion.
+type DurbinParams struct {
+	// Frames is the number of speech frames analysed.
+	Frames int
+	// FrameLen is the samples per frame.
+	FrameLen int
+	// Order is the LPC order (autocorrelation lags 0..Order).
+	Order int
+	// MACCycles prices one multiply-accumulate; RecCycles one
+	// recursion update step.
+	MACCycles, RecCycles int64
+}
+
+// DefaultDurbinParams returns the paper-scale workload: 2.56 s of
+// 8 kHz speech (128 frames of 160 samples), order-10 LPC.
+func DefaultDurbinParams() DurbinParams {
+	return DurbinParams{Frames: 128, FrameLen: 160, Order: 10, MACCycles: 3, RecCycles: 4}
+}
+
+// TestDurbinParams returns the down-scaled trace-friendly workload.
+func TestDurbinParams() DurbinParams {
+	return DurbinParams{Frames: 8, FrameLen: 40, Order: 6, MACCycles: 3, RecCycles: 4}
+}
+
+// BuildDurbin builds the analyser at the given scale.
+func BuildDurbin(s Scale) *model.Program {
+	if s == Test {
+		return BuildDurbinWith(TestDurbinParams())
+	}
+	return BuildDurbinWith(DefaultDurbinParams())
+}
+
+// BuildDurbinWith builds the two-phase analyser:
+//
+//	autocorr : r[f][lag] = sum_n sp[f*L+n] * sp[f*L+n+lag]
+//	recursion: per frame, the order-Order Levinson-Durbin update of
+//	           the coefficient vector a against r, emitting lpc[f][i]
+//
+// The speech buffer is padded by Order samples so the lagged access
+// stays in bounds in the last frame. The tiny working arrays (a, r
+// rows) are the in-place/array-homing opportunity here.
+func BuildDurbinWith(pr DurbinParams) *model.Program {
+	lags := pr.Order + 1
+	p := model.NewProgram("durbin")
+	sp := p.NewInput("sp", 2, pr.Frames*pr.FrameLen+pr.Order)
+	r := p.NewArray("r", 2, pr.Frames, lags)
+	a := p.NewArray("a", 2, pr.Order)
+	lpc := p.NewOutput("lpc", 2, pr.Frames, pr.Order)
+
+	p.AddBlock("autocorr",
+		model.For("f", pr.Frames,
+			model.For("lag", lags,
+				model.For("n", pr.FrameLen,
+					model.Load(sp, model.IdxC(pr.FrameLen, "f").Plus(model.Idx("n"))),
+					model.Load(sp, model.IdxC(pr.FrameLen, "f").Plus(model.Idx("n")).Plus(model.Idx("lag"))),
+					model.Work(pr.MACCycles),
+				),
+				model.Store(r, model.Idx("f"), model.Idx("lag")),
+			)))
+
+	p.AddBlock("recursion",
+		model.For("f", pr.Frames,
+			model.For("i", pr.Order,
+				model.Load(r, model.Idx("f"), model.Idx("i")),
+				model.For("j", pr.Order,
+					model.Load(r, model.Idx("f"), model.Idx("j")),
+					model.Load(a, model.Idx("j")),
+					model.Work(pr.RecCycles),
+					model.Store(a, model.Idx("j")),
+				),
+				model.Store(lpc, model.Idx("f"), model.Idx("i")),
+			)))
+	return p
+}

@@ -1,0 +1,88 @@
+package apps
+
+import "mhla/internal/model"
+
+// JPEGParams parameterize the JPEG-style block transform encoder.
+type JPEGParams struct {
+	// Size is the (square) luma image edge; must be a multiple of 8.
+	Size int
+	// MACCycles prices one multiply-accumulate of the DCT;
+	// QuantCycles one quantization step.
+	MACCycles, QuantCycles int64
+}
+
+// DefaultJPEGParams returns the paper-scale 512x512 image.
+func DefaultJPEGParams() JPEGParams {
+	return JPEGParams{Size: 512, MACCycles: 4, QuantCycles: 5}
+}
+
+// TestJPEGParams returns the down-scaled trace-friendly workload.
+func TestJPEGParams() JPEGParams {
+	return JPEGParams{Size: 64, MACCycles: 4, QuantCycles: 5}
+}
+
+// BuildJPEG builds the encoder at the given scale.
+func BuildJPEG(s Scale) *model.Program {
+	if s == Test {
+		return BuildJPEGWith(TestJPEGParams())
+	}
+	return BuildJPEGWith(DefaultJPEGParams())
+}
+
+// BuildJPEGWith builds the three-phase encoder:
+//
+//	dct-row : per 8x8 block, row-direction transform against the 8x8
+//	          cosine table ct
+//	dct-col : column-direction transform of the row result
+//	quant   : table-driven quantization against the 8x8 table q
+//
+// The small constant tables (ct, q) see massive reuse — the layer
+// assignment should home them on-chip, which exercises the
+// array-assignment part of MHLA (not just copy selection).
+func BuildJPEGWith(pr JPEGParams) *model.Program {
+	n := pr.Size
+	nb := n / 8
+
+	p := model.NewProgram("jpeg")
+	img := p.NewInput("img", 1, n, n)
+	ct := p.NewInput("ct", 2, 8, 8)
+	q := p.NewInput("q", 2, 8, 8)
+	t1 := p.NewArray("t1", 2, n, n)
+	t2 := p.NewArray("t2", 2, n, n)
+	out := p.NewOutput("out", 2, n, n)
+
+	p.AddBlock("dct-row",
+		model.For("by", nb, model.For("bx", nb,
+			model.For("y", 8, model.For("u", 8,
+				model.For("x", 8,
+					model.Load(img, model.IdxC(8, "by").Plus(model.Idx("y")), model.IdxC(8, "bx").Plus(model.Idx("x"))),
+					model.Load(ct, model.Idx("u"), model.Idx("x")),
+					model.Work(pr.MACCycles),
+				),
+				model.Store(t1, model.IdxC(8, "by").Plus(model.Idx("y")), model.IdxC(8, "bx").Plus(model.Idx("u"))),
+			)),
+		)))
+
+	p.AddBlock("dct-col",
+		model.For("by", nb, model.For("bx", nb,
+			model.For("x", 8, model.For("v", 8,
+				model.For("y", 8,
+					model.Load(t1, model.IdxC(8, "by").Plus(model.Idx("y")), model.IdxC(8, "bx").Plus(model.Idx("x"))),
+					model.Load(ct, model.Idx("v"), model.Idx("y")),
+					model.Work(pr.MACCycles),
+				),
+				model.Store(t2, model.IdxC(8, "by").Plus(model.Idx("v")), model.IdxC(8, "bx").Plus(model.Idx("x"))),
+			)),
+		)))
+
+	p.AddBlock("quant",
+		model.For("by", nb, model.For("bx", nb,
+			model.For("u", 8, model.For("v", 8,
+				model.Load(t2, model.IdxC(8, "by").Plus(model.Idx("u")), model.IdxC(8, "bx").Plus(model.Idx("v"))),
+				model.Load(q, model.Idx("u"), model.Idx("v")),
+				model.Work(pr.QuantCycles),
+				model.Store(out, model.IdxC(8, "by").Plus(model.Idx("u")), model.IdxC(8, "bx").Plus(model.Idx("v"))),
+			)),
+		)))
+	return p
+}

@@ -1,0 +1,80 @@
+package apps
+
+import "mhla/internal/model"
+
+// MEParams parameterize the full-search motion estimation kernel.
+type MEParams struct {
+	// FrameH, FrameW are the current-frame dimensions in pixels.
+	FrameH, FrameW int
+	// Block is the macroblock edge (Block x Block pixels).
+	Block int
+	// Search is the search range: candidate vectors span
+	// [0, 2*Search] in each direction against a padded reference.
+	Search int
+	// MatchCycles is the compute cost of one pixel comparison
+	// (subtract, absolute value, accumulate, addressing).
+	MatchCycles int64
+}
+
+// DefaultMEParams returns the paper-scale workload: QCIF luma frames,
+// 16x16 macroblocks, +-8 full search.
+func DefaultMEParams() MEParams {
+	return MEParams{FrameH: 144, FrameW: 176, Block: 16, Search: 8, MatchCycles: 6}
+}
+
+// TestMEParams returns the down-scaled trace-friendly workload.
+func TestMEParams() MEParams {
+	return MEParams{FrameH: 32, FrameW: 48, Block: 8, Search: 4, MatchCycles: 6}
+}
+
+// BuildME builds the motion estimation model at the given scale.
+func BuildME(s Scale) *model.Program {
+	if s == Test {
+		return BuildMEWith(TestMEParams())
+	}
+	return BuildMEWith(DefaultMEParams())
+}
+
+// BuildMEWith builds the kernel:
+//
+//	for by, bx over macroblocks
+//	  for vy, vx over the search window
+//	    for ky, kx over the block
+//	      sad += |cur[by*B+ky][bx*B+kx] - prev[by*B+vy+ky][bx*B+vx+kx]|
+//	  mv[by][bx] = best vector
+//
+// The reference frame is padded by the search range on both sides, so
+// candidate row indices stay non-negative (vy spans 0..2*Search which
+// represents -Search..+Search against the padded origin).
+func BuildMEWith(pr MEParams) *model.Program {
+	by := pr.FrameH / pr.Block
+	bx := pr.FrameW / pr.Block
+	v := 2*pr.Search + 1
+	p := model.NewProgram("me")
+	cur := p.NewInput("cur", 1, pr.FrameH, pr.FrameW)
+	prev := p.NewInput("prev", 1, pr.FrameH+2*pr.Search, pr.FrameW+2*pr.Search)
+	mv := p.NewOutput("mv", 2, by, bx)
+	p.AddBlock("match",
+		model.For("by", by,
+			model.For("bx", bx,
+				model.For("vy", v,
+					model.For("vx", v,
+						model.For("ky", pr.Block,
+							model.For("kx", pr.Block,
+								model.Load(cur,
+									model.IdxC(pr.Block, "by").Plus(model.Idx("ky")),
+									model.IdxC(pr.Block, "bx").Plus(model.Idx("kx"))),
+								model.Load(prev,
+									model.IdxC(pr.Block, "by").Plus(model.Idx("vy")).Plus(model.Idx("ky")),
+									model.IdxC(pr.Block, "bx").Plus(model.Idx("vx")).Plus(model.Idx("kx"))),
+								model.Work(pr.MatchCycles),
+							),
+						),
+					),
+				),
+				model.Store(mv, model.Idx("by"), model.Idx("bx")),
+			),
+		),
+	)
+	return p
+}

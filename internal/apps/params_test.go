@@ -1,0 +1,193 @@
+package apps
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mhla/internal/reuse"
+)
+
+// The builders must produce valid (in-bounds) programs for any
+// reasonable parameter combination, not just the two shipped scales —
+// padding arithmetic is where stencil and search-window models
+// usually break.
+
+func TestQuickMEParams(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		block := []int{8, 16}[r.Intn(2)]
+		pr := MEParams{
+			FrameH:      block * (1 + r.Intn(8)),
+			FrameW:      block * (1 + r.Intn(8)),
+			Block:       block,
+			Search:      1 + r.Intn(8),
+			MatchCycles: 1 + int64(r.Intn(8)),
+		}
+		p := BuildMEWith(pr)
+		if err := p.Validate(); err != nil {
+			t.Logf("params %+v: %v", pr, err)
+			return false
+		}
+		_, err := reuse.Analyze(p)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickQSDPCMParams(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		// Frame must be a multiple of the block in both dimensions
+		// and divisible by 4 for the pyramid.
+		block := []int{8, 16}[r.Intn(2)]
+		pr := QSDPCMParams{
+			FrameH:      block * (1 + r.Intn(6)),
+			FrameW:      block * (1 + r.Intn(6)),
+			Block:       block,
+			Search4:     1 + r.Intn(3),
+			MatchCycles: 1 + int64(r.Intn(6)),
+			CodeCycles:  1 + int64(r.Intn(6)),
+		}
+		p := BuildQSDPCMWith(pr)
+		return p.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCavityParams(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		taps := 3 + 2*r.Intn(3) // 3,5,7
+		pr := CavityParams{
+			ImageH:       taps + 4 + r.Intn(64),
+			ImageW:       taps + 4 + r.Intn(64),
+			GaussTaps:    taps,
+			FilterCycles: 1 + int64(r.Intn(4)),
+			DetectCycles: 1 + int64(r.Intn(4)),
+		}
+		p := BuildCavityWith(pr)
+		return p.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickWaveletParams(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		pr := WaveletParams{
+			Size:      16 + 4*r.Intn(32), // multiples of 4, >= 16
+			Taps:      []int{5, 7, 9}[r.Intn(3)],
+			MACCycles: 1 + int64(r.Intn(4)),
+		}
+		// The level-2 row pass reads up to half+taps-1 columns.
+		if pr.Size/2+pr.Taps-1 > pr.Size {
+			return true // out of the builder's documented domain
+		}
+		p := BuildWaveletWith(pr)
+		return p.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSobelParams(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		pr := SobelParams{
+			ImageH:    3 + r.Intn(128),
+			ImageW:    3 + r.Intn(128),
+			TapCycles: 1 + int64(r.Intn(4)),
+			MagCycles: 1 + int64(r.Intn(8)),
+		}
+		p := BuildSobelWith(pr)
+		return p.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDurbinParams(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		pr := DurbinParams{
+			Frames:    1 + r.Intn(16),
+			FrameLen:  8 + r.Intn(64),
+			Order:     2 + r.Intn(8),
+			MACCycles: 1 + int64(r.Intn(4)),
+			RecCycles: 1 + int64(r.Intn(4)),
+		}
+		if pr.Order >= pr.FrameLen {
+			return true // outside the documented domain
+		}
+		p := BuildDurbinWith(pr)
+		return p.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickVoiceParams(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		pr := VoiceParams{
+			Samples:      16 + r.Intn(512),
+			Taps:         4 + r.Intn(28),
+			Codebook:     2 + r.Intn(16),
+			MACCycles:    1 + int64(r.Intn(4)),
+			SearchCycles: 1 + int64(r.Intn(6)),
+		}
+		p := BuildVoiceWith(pr)
+		return p.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDABParams(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		fft := 1 << (6 + r.Intn(5)) // 64..1024
+		states := []int{4, 8, 16}[r.Intn(3)]
+		maxSym := fft / states
+		pr := DABParams{
+			Frames:        1 + r.Intn(4),
+			FFTSize:       fft,
+			States:        states,
+			Symbols:       1 + r.Intn(maxSym),
+			FFTCycles:     1 + int64(r.Intn(6)),
+			TrellisCycles: 1 + int64(r.Intn(4)),
+		}
+		p := BuildDABWith(pr)
+		return p.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickJPEGParams(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		pr := JPEGParams{
+			Size:        8 * (1 + r.Intn(16)),
+			MACCycles:   1 + int64(r.Intn(4)),
+			QuantCycles: 1 + int64(r.Intn(6)),
+		}
+		p := BuildJPEGWith(pr)
+		return p.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

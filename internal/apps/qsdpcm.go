@@ -1,0 +1,126 @@
+package apps
+
+import "mhla/internal/model"
+
+// QSDPCMParams parameterize the quad-tree structured DPCM video
+// encoder: hierarchical motion estimation over a 3-level resolution
+// pyramid followed by quadtree coding of the prediction error.
+type QSDPCMParams struct {
+	// FrameH, FrameW are the frame dimensions; both must be multiples
+	// of 4*Block... the full-resolution macroblock edge.
+	FrameH, FrameW int
+	// Block is the full-resolution macroblock edge.
+	Block int
+	// Search4 is the quarter-resolution search range; the half- and
+	// full-resolution stages refine by +-1.
+	Search4 int
+	// MatchCycles prices one pixel comparison; CodeCycles one
+	// prediction-error coding step.
+	MatchCycles, CodeCycles int64
+}
+
+// DefaultQSDPCMParams returns the paper-scale QCIF workload.
+func DefaultQSDPCMParams() QSDPCMParams {
+	return QSDPCMParams{FrameH: 144, FrameW: 176, Block: 16, Search4: 2, MatchCycles: 5, CodeCycles: 4}
+}
+
+// TestQSDPCMParams returns the down-scaled trace-friendly workload.
+func TestQSDPCMParams() QSDPCMParams {
+	return QSDPCMParams{FrameH: 32, FrameW: 32, Block: 8, Search4: 2, MatchCycles: 5, CodeCycles: 4}
+}
+
+// BuildQSDPCM builds the encoder at the given scale.
+func BuildQSDPCM(s Scale) *model.Program {
+	if s == Test {
+		return BuildQSDPCMWith(TestQSDPCMParams())
+	}
+	return BuildQSDPCMWith(DefaultQSDPCMParams())
+}
+
+// BuildQSDPCMWith builds the six-phase encoder:
+//
+//	sub4    : quarter-resolution subsampling of the current frame
+//	sub2    : half-resolution subsampling
+//	me4     : full search at quarter resolution (+-Search4)
+//	me2     : +-1 refinement at half resolution
+//	me1     : +-1 refinement at full resolution
+//	qcode   : quadtree coding of the motion-compensated difference
+//
+// The previous-frame pyramids (prev, prev2, prev4) are inputs — the
+// encoder state from the previous frame — padded by the stage search
+// range.
+func BuildQSDPCMWith(pr QSDPCMParams) *model.Program {
+	nbY, nbX := pr.FrameH/pr.Block, pr.FrameW/pr.Block
+	b4, b2 := pr.Block/4, pr.Block/2
+	h4, w4 := pr.FrameH/4, pr.FrameW/4
+	h2, w2 := pr.FrameH/2, pr.FrameW/2
+	v4 := 2*pr.Search4 + 1
+	const refine = 1
+	vr := 2*refine + 1
+
+	p := model.NewProgram("qsdpcm")
+	cur := p.NewInput("cur", 1, pr.FrameH, pr.FrameW)
+	prev := p.NewInput("prev", 1, pr.FrameH+2*refine, pr.FrameW+2*refine)
+	cur4 := p.NewArray("cur4", 1, h4, w4)
+	prev4 := p.NewInput("prev4", 1, h4+2*pr.Search4, w4+2*pr.Search4)
+	cur2 := p.NewArray("cur2", 1, h2, w2)
+	prev2 := p.NewInput("prev2", 1, h2+2*refine, w2+2*refine)
+	mv4 := p.NewArray("mv4", 2, nbY, nbX)
+	mv2 := p.NewArray("mv2", 2, nbY, nbX)
+	mv := p.NewOutput("mv", 2, nbY, nbX)
+	qt := p.NewOutput("qt", 1, pr.FrameH, pr.FrameW)
+
+	p.AddBlock("sub4",
+		model.For("y", h4, model.For("x", w4,
+			model.For("dy", 4, model.For("dx", 4,
+				model.Load(cur, model.IdxC(4, "y").Plus(model.Idx("dy")), model.IdxC(4, "x").Plus(model.Idx("dx"))),
+				model.Work(1),
+			)),
+			model.Store(cur4, model.Idx("y"), model.Idx("x")),
+		)))
+
+	p.AddBlock("sub2",
+		model.For("y", h2, model.For("x", w2,
+			model.For("dy", 2, model.For("dx", 2,
+				model.Load(cur, model.IdxC(2, "y").Plus(model.Idx("dy")), model.IdxC(2, "x").Plus(model.Idx("dx"))),
+				model.Work(1),
+			)),
+			model.Store(cur2, model.Idx("y"), model.Idx("x")),
+		)))
+
+	// meStage emits one hierarchical ME stage.
+	meStage := func(name string, curA, prevA *model.Array, be, v int, mvOut, mvIn *model.Array) {
+		body := []model.Node{
+			model.For("vy", v, model.For("vx", v,
+				model.For("ky", be, model.For("kx", be,
+					model.Load(curA, model.IdxC(be, "by").Plus(model.Idx("ky")), model.IdxC(be, "bx").Plus(model.Idx("kx"))),
+					model.Load(prevA,
+						model.IdxC(be, "by").Plus(model.Idx("vy")).Plus(model.Idx("ky")),
+						model.IdxC(be, "bx").Plus(model.Idx("vx")).Plus(model.Idx("kx"))),
+					model.Work(pr.MatchCycles),
+				)),
+			)),
+		}
+		if mvIn != nil {
+			// Refinement stages start from the coarser vector.
+			body = append([]model.Node{
+				model.Load(mvIn, model.Idx("by"), model.Idx("bx")),
+				model.Work(2),
+			}, body...)
+		}
+		body = append(body, model.Store(mvOut, model.Idx("by"), model.Idx("bx")))
+		p.AddBlock(name, model.For("by", nbY, model.For("bx", nbX, body...)))
+	}
+	meStage("me4", cur4, prev4, b4, v4, mv4, nil)
+	meStage("me2", cur2, prev2, b2, vr, mv2, mv4)
+	meStage("me1", cur, prev, pr.Block, vr, mv, mv2)
+
+	p.AddBlock("qcode",
+		model.For("y", pr.FrameH, model.For("x", pr.FrameW,
+			model.Load(cur, model.Idx("y"), model.Idx("x")),
+			model.Load(prev, model.Idx("y").PlusConst(refine), model.Idx("x").PlusConst(refine)),
+			model.Work(pr.CodeCycles),
+			model.Store(qt, model.Idx("y"), model.Idx("x")),
+		)))
+	return p
+}

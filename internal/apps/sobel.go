@@ -1,0 +1,58 @@
+package apps
+
+import "mhla/internal/model"
+
+// SobelParams parameterize the Sobel edge detector.
+type SobelParams struct {
+	// ImageH, ImageW are the input frame dimensions.
+	ImageH, ImageW int
+	// TapCycles prices one kernel tap (two multiply-accumulates, for
+	// the horizontal and vertical gradients evaluated together).
+	TapCycles int64
+	// MagCycles prices the gradient magnitude/threshold per pixel.
+	MagCycles int64
+}
+
+// DefaultSobelParams returns the paper-scale VGA frame.
+func DefaultSobelParams() SobelParams {
+	return SobelParams{ImageH: 480, ImageW: 640, TapCycles: 4, MagCycles: 6}
+}
+
+// TestSobelParams returns the down-scaled trace-friendly workload.
+func TestSobelParams() SobelParams {
+	return SobelParams{ImageH: 24, ImageW: 32, TapCycles: 4, MagCycles: 6}
+}
+
+// BuildSobel builds the detector at the given scale.
+func BuildSobel(s Scale) *model.Program {
+	if s == Test {
+		return BuildSobelWith(TestSobelParams())
+	}
+	return BuildSobelWith(DefaultSobelParams())
+}
+
+// BuildSobelWith builds the single-phase detector:
+//
+//	for y, x over the output frame
+//	  for ky, kx over the 3x3 window
+//	    gx += img[y+ky][x+kx] * KX[ky][kx]; gy += ... * KY[ky][kx]
+//	  out[y][x] = |gx| + |gy|
+//
+// The 3x3 window slides by one pixel — the canonical line-buffer
+// reuse pattern (a 3-row band at one level, a 3x3 window below it).
+func BuildSobelWith(pr SobelParams) *model.Program {
+	h, w := pr.ImageH-2, pr.ImageW-2
+	p := model.NewProgram("sobel")
+	img := p.NewInput("img", 1, pr.ImageH, pr.ImageW)
+	out := p.NewOutput("out", 1, h, w)
+	p.AddBlock("sobel",
+		model.For("y", h, model.For("x", w,
+			model.For("ky", 3, model.For("kx", 3,
+				model.Load(img, model.Idx("y").Plus(model.Idx("ky")), model.Idx("x").Plus(model.Idx("kx"))),
+				model.Work(pr.TapCycles),
+			)),
+			model.Work(pr.MagCycles),
+			model.Store(out, model.Idx("y"), model.Idx("x")),
+		)))
+	return p
+}

@@ -1,0 +1,80 @@
+package apps
+
+import "mhla/internal/model"
+
+// VoiceParams parameterize the sub-band voice coder front-end: a QMF
+// analysis filterbank followed by codebook quantization (G.722-class
+// structure).
+type VoiceParams struct {
+	// Samples is the number of output sub-band sample pairs (the
+	// input is consumed at twice this rate).
+	Samples int
+	// Taps is the QMF filter length.
+	Taps int
+	// Codebook is the quantizer codebook size searched per sample.
+	Codebook int
+	// MACCycles prices one filter tap; SearchCycles one codebook
+	// comparison.
+	MACCycles, SearchCycles int64
+}
+
+// DefaultVoiceParams returns the paper-scale workload: one second of
+// 16 kHz speech through a 24-tap QMF and a 16-entry codebook.
+func DefaultVoiceParams() VoiceParams {
+	return VoiceParams{Samples: 8192, Taps: 24, Codebook: 8, MACCycles: 2, SearchCycles: 6}
+}
+
+// TestVoiceParams returns the down-scaled trace-friendly workload.
+func TestVoiceParams() VoiceParams {
+	return VoiceParams{Samples: 512, Taps: 12, Codebook: 8, MACCycles: 2, SearchCycles: 3}
+}
+
+// BuildVoice builds the coder at the given scale.
+func BuildVoice(s Scale) *model.Program {
+	if s == Test {
+		return BuildVoiceWith(TestVoiceParams())
+	}
+	return BuildVoiceWith(DefaultVoiceParams())
+}
+
+// BuildVoiceWith builds the two-phase coder:
+//
+//	qmf      : sublo/subhi[n] = sum_k h[k] * pcm[2n+k] — the input
+//	           window slides by two samples per output pair
+//	quantize : per sample pair, search the codebook cb and emit the
+//	           index pair
+//
+// The filter table h and codebook cb are small and massively reused;
+// the pcm window is the sliding-window copy opportunity.
+func BuildVoiceWith(pr VoiceParams) *model.Program {
+	p := model.NewProgram("voice")
+	pcm := p.NewInput("pcm", 2, 2*pr.Samples+pr.Taps)
+	h := p.NewInput("h", 2, pr.Taps)
+	cb := p.NewInput("cb", 2, pr.Codebook)
+	sublo := p.NewArray("sublo", 2, pr.Samples)
+	subhi := p.NewArray("subhi", 2, pr.Samples)
+	out := p.NewOutput("out", 2, pr.Samples)
+
+	p.AddBlock("qmf",
+		model.For("n", pr.Samples,
+			model.For("k", pr.Taps,
+				model.Load(pcm, model.IdxC(2, "n").Plus(model.Idx("k"))),
+				model.Load(h, model.Idx("k")),
+				model.Work(pr.MACCycles),
+			),
+			model.Store(sublo, model.Idx("n")),
+			model.Store(subhi, model.Idx("n")),
+		))
+
+	p.AddBlock("quantize",
+		model.For("n", pr.Samples,
+			model.Load(sublo, model.Idx("n")),
+			model.Load(subhi, model.Idx("n")),
+			model.For("c", pr.Codebook,
+				model.Load(cb, model.Idx("c")),
+				model.Work(pr.SearchCycles),
+			),
+			model.Store(out, model.Idx("n")),
+		))
+	return p
+}

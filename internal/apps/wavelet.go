@@ -1,0 +1,95 @@
+package apps
+
+import "mhla/internal/model"
+
+// WaveletParams parameterize the two-level 2-D discrete wavelet
+// transform used in image compression front-ends (9/7-class filter
+// bank).
+type WaveletParams struct {
+	// Size is the (square) image edge; must be a multiple of 4 and at
+	// least 16.
+	Size int
+	// Taps is the analysis filter length (9 for the 9/7 bank); the
+	// input of each pass is padded by Taps-1 for the boundary
+	// extension.
+	Taps int
+	// MACCycles prices one filter tap multiply-accumulate.
+	MACCycles int64
+}
+
+// DefaultWaveletParams returns the paper-scale 256x256 image with the
+// 9-tap analysis filter.
+func DefaultWaveletParams() WaveletParams {
+	return WaveletParams{Size: 256, Taps: 9, MACCycles: 2}
+}
+
+// TestWaveletParams returns the down-scaled trace-friendly workload.
+func TestWaveletParams() WaveletParams {
+	return WaveletParams{Size: 32, Taps: 5, MACCycles: 2}
+}
+
+// BuildWavelet builds the transform at the given scale.
+func BuildWavelet(s Scale) *model.Program {
+	if s == Test {
+		return BuildWaveletWith(TestWaveletParams())
+	}
+	return BuildWaveletWith(DefaultWaveletParams())
+}
+
+// BuildWaveletWith builds the four-phase transform:
+//
+//	rows-l1 : lo/hi[y][x] = sum_k f[k] * img[y][2x+k]
+//	cols-l1 : vertical analysis of tmp into w1
+//	rows-l2 : horizontal analysis of the LL quadrant of w1
+//	cols-l2 : vertical analysis of tmp2 into ll2
+//
+// The window of each output pair overlaps the previous one by Taps-2
+// samples (the stride-2 sliding window characteristic of the DWT),
+// which is the data-reuse opportunity MHLA exploits; the column
+// passes additionally expose the row-band buffering decision. Pass
+// inputs are padded by Taps-1 in the filtered direction (boundary
+// extension), so all accesses stay in bounds.
+func BuildWaveletWith(pr WaveletParams) *model.Program {
+	n := pr.Size
+	h := n / 2
+	q := n / 4
+	pad := pr.Taps - 1
+
+	p := model.NewProgram("wavelet")
+	img := p.NewInput("img", 2, n, n+pad)
+	tmp := p.NewArray("tmp", 2, n+pad, n)
+	w1 := p.NewOutput("w1", 2, n, n)
+	tmp2 := p.NewArray("tmp2", 2, h+pad, h)
+	ll2 := p.NewOutput("ll2", 2, h, h)
+
+	// horizontal pass: out[y][x] and out[y][x+half] from in[y][2x+k].
+	rowPass := func(name string, in, out *model.Array, rows, half int) {
+		p.AddBlock(name,
+			model.For("y", rows, model.For("x", half,
+				model.For("k", pr.Taps,
+					model.Load(in, model.Idx("y"), model.IdxC(2, "x").Plus(model.Idx("k"))),
+					model.Work(pr.MACCycles),
+				),
+				model.Store(out, model.Idx("y"), model.Idx("x")),
+				model.Store(out, model.Idx("y"), model.Idx("x").PlusConst(half)),
+			)))
+	}
+	// vertical pass: out[y][x] and out[y+half][x] from in[2y+k][x].
+	colPass := func(name string, in, out *model.Array, half, cols int) {
+		p.AddBlock(name,
+			model.For("y", half, model.For("x", cols,
+				model.For("k", pr.Taps,
+					model.Load(in, model.IdxC(2, "y").Plus(model.Idx("k")), model.Idx("x")),
+					model.Work(pr.MACCycles),
+				),
+				model.Store(out, model.Idx("y"), model.Idx("x")),
+				model.Store(out, model.Idx("y").PlusConst(half), model.Idx("x")),
+			)))
+	}
+
+	rowPass("rows-l1", img, tmp, n, h)
+	colPass("cols-l1", tmp, w1, h, n)
+	rowPass("rows-l2", w1, tmp2, h, q)
+	colPass("cols-l2", tmp2, ll2, q, h)
+	return p
+}

@@ -1,0 +1,269 @@
+package assign
+
+import (
+	"sort"
+
+	"mhla/internal/model"
+	"mhla/internal/platform"
+	"mhla/internal/reuse"
+)
+
+// contrib is the decomposed cost contribution of one decision (a
+// chain's selection or an array's home): cycles and energy are both
+// additive across decisions when no time extensions are applied,
+// which is what makes branch-and-bound lower bounds exact.
+type contrib struct {
+	cycles int64
+	energy float64
+}
+
+func (c contrib) plus(o contrib) contrib {
+	return contrib{cycles: c.cycles + o.cycles, energy: c.energy + o.energy}
+}
+
+// score maps a contribution to the searched scalar. For MinEDP the
+// product of the component lower bounds is itself a lower bound.
+func (o Objective) contribScore(c contrib) float64 {
+	switch o {
+	case MinTime:
+		return float64(c.cycles)
+	case MinEDP:
+		return c.energy * float64(c.cycles)
+	default:
+		return c.energy
+	}
+}
+
+// chainContrib computes the access and transfer cost of one chain
+// under the given home and selection (full stalls, no extensions).
+func chainContrib(plat *platform.Platform, policy reuse.Policy, ch *reuse.Chain, home int, levels, layers []int) contrib {
+	var c contrib
+	// CPU accesses.
+	accessLayer := home
+	if len(layers) > 0 {
+		accessLayer = layers[len(layers)-1]
+	}
+	w := int64((ch.Array.ElemSize + plat.Layers[accessLayer].WordBytes - 1) / plat.Layers[accessLayer].WordBytes)
+	n := ch.AccessesPerExecution()
+	isWrite := ch.Kind == model.Write
+	c.cycles += n * w * plat.AccessCycles(accessLayer, isWrite)
+	c.energy += float64(n*w) * plat.AccessEnergy(accessLayer, isWrite)
+	// Transfers.
+	parent := home
+	for i, lv := range levels {
+		layer := layers[i]
+		cand := ch.Candidate(lv)
+		for ci, uc := range cand.Classes {
+			bytes := cand.UpdateBytes(ci, policy)
+			if uc.Count == 0 || bytes == 0 {
+				continue
+			}
+			src, dst := parent, layer
+			if isWrite {
+				src, dst = layer, parent
+			}
+			c.cycles += uc.Count * plat.TransferCycles(src, dst, bytes)
+			c.energy += float64(uc.Count) * plat.TransferEnergy(src, dst, bytes)
+		}
+		parent = layer
+	}
+	return c
+}
+
+// arrayContrib is the initial-fill / final-write-back cost of homing
+// an array on the given layer.
+func arrayContrib(plat *platform.Platform, arr *model.Array, home int) contrib {
+	var c contrib
+	bg := plat.Background()
+	if home == bg {
+		return c
+	}
+	if arr.Input {
+		c.cycles += plat.TransferCycles(bg, home, arr.Bytes())
+		c.energy += plat.TransferEnergy(bg, home, arr.Bytes())
+	}
+	if arr.Output {
+		c.cycles += plat.TransferCycles(home, bg, arr.Bytes())
+		c.energy += plat.TransferEnergy(home, bg, arr.Bytes())
+	}
+	return c
+}
+
+// option is one possible selection for a chain.
+type option struct {
+	levels, layers []int
+}
+
+// chainOptionsFor enumerates every monotone selection of the chain's
+// candidates on the on-chip layers (including the empty selection),
+// skipping copies that exceed their layer's capacity outright.
+func chainOptionsFor(plat *platform.Platform, ch *reuse.Chain) []option {
+	onChip := plat.OnChipLayers()
+	opts := []option{{}}
+	var rec func(minLevel, maxLayerExcl int, levels, layers []int)
+	rec = func(minLevel, maxLayerExcl int, levels, layers []int) {
+		for lv := minLevel; lv <= ch.Depth(); lv++ {
+			cand := ch.Candidate(lv)
+			for _, ly := range onChip {
+				if ly >= maxLayerExcl {
+					continue
+				}
+				if cand.Bytes > plat.Layers[ly].Capacity {
+					continue
+				}
+				nl := append(append([]int(nil), levels...), lv)
+				ny := append(append([]int(nil), layers...), ly)
+				opts = append(opts, option{levels: nl, layers: ny})
+				rec(lv+1, ly, nl, ny)
+			}
+		}
+	}
+	rec(0, len(plat.Layers), nil, nil)
+	return opts
+}
+
+// exactSearch explores the full decision space (array homes x chain
+// selections) by depth-first search with exact capacity pruning and,
+// when prune is true, lower-bound pruning (branch and bound).
+func exactSearch(an *reuse.Analysis, plat *platform.Platform, opts Options, prune bool) *Result {
+	bg := plat.Background()
+
+	// Decision variables.
+	arrays := append([]*model.Array(nil), an.Program.Arrays...)
+	sort.Slice(arrays, func(i, j int) bool { return arrays[i].Name < arrays[j].Name })
+	arrayOpts := make([][]int, len(arrays))
+	for i, arr := range arrays {
+		homes := []int{bg}
+		for _, ly := range plat.OnChipLayers() {
+			if arr.Bytes() <= plat.Layers[ly].Capacity {
+				homes = append(homes, ly)
+			}
+		}
+		arrayOpts[i] = homes
+	}
+	chains := an.Chains
+	chainOpts := make([][]option, len(chains))
+	for i, ch := range chains {
+		chainOpts[i] = chainOptionsFor(plat, ch)
+	}
+
+	// Per-chain optimistic contributions (min over homes and options),
+	// used as lower bounds for undecided chains.
+	minChain := make([]contrib, len(chains))
+	for i, ch := range chains {
+		best := contrib{cycles: 1 << 62, energy: 1e300}
+		homes := []int{bg}
+		homes = append(homes, plat.OnChipLayers()...)
+		for _, home := range homes {
+			for _, op := range chainOpts[i] {
+				if len(op.layers) > 0 && op.layers[0] >= home {
+					continue
+				}
+				c := chainContrib(plat, opts.Policy, ch, home, op.levels, op.layers)
+				if c.cycles < best.cycles {
+					best.cycles = c.cycles
+				}
+				if c.energy < best.energy {
+					best.energy = c.energy
+				}
+			}
+		}
+		minChain[i] = best
+	}
+	// Suffix sums of the optimistic chain contributions.
+	suffix := make([]contrib, len(chains)+1)
+	for i := len(chains) - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1].plus(minChain[i])
+	}
+
+	base := contrib{cycles: an.Program.ComputeCycles()}
+	var best *Assignment
+	bestScore := 0.0
+	states := 0
+	complete := true
+
+	var decideChain func(idx int, cur *Assignment, acc contrib)
+	var decideArray func(idx int, cur *Assignment, acc contrib)
+
+	decideChain = func(idx int, cur *Assignment, acc contrib) {
+		if states > opts.MaxStates {
+			complete = false
+			return
+		}
+		if prune && best != nil && opts.Objective.contribScore(acc.plus(suffix[idx])) >= bestScore {
+			return
+		}
+		if idx == len(chains) {
+			states++
+			score := opts.Objective.contribScore(acc)
+			if best == nil || score < bestScore {
+				best = cur.Clone()
+				bestScore = score
+			}
+			return
+		}
+		ch := chains[idx]
+		home := cur.ArrayHome[ch.Array.Name]
+		for _, op := range chainOpts[idx] {
+			if len(op.layers) > 0 && op.layers[0] >= home {
+				continue
+			}
+			next := cur
+			if len(op.levels) > 0 {
+				next = cur.Clone()
+				next.Chains[ch.ID] = &ChainAssign{
+					Chain:  ch,
+					Levels: append([]int(nil), op.levels...),
+					Layers: append([]int(nil), op.layers...),
+				}
+				if !next.Fits() {
+					continue
+				}
+			}
+			c := chainContrib(plat, opts.Policy, ch, home, op.levels, op.layers)
+			decideChain(idx+1, next, acc.plus(c))
+		}
+	}
+
+	decideArray = func(idx int, cur *Assignment, acc contrib) {
+		if states > opts.MaxStates {
+			complete = false
+			return
+		}
+		if prune && best != nil && opts.Objective.contribScore(acc.plus(suffix[0])) >= bestScore {
+			return
+		}
+		if idx == len(arrays) {
+			decideChain(0, cur, acc)
+			return
+		}
+		arr := arrays[idx]
+		for _, home := range arrayOpts[idx] {
+			next := cur
+			if home != bg {
+				next = cur.Clone()
+				next.SetHome(arr.Name, home)
+				if !next.Fits() {
+					continue
+				}
+			}
+			decideArray(idx+1, next, acc.plus(arrayContrib(plat, arr, home)))
+		}
+	}
+
+	start := New(an, plat, opts.Policy)
+	start.InPlace = opts.InPlace
+	decideArray(0, start, base)
+
+	if best == nil {
+		// Pathological cap: fall back to the baseline.
+		best = start
+		complete = false
+	}
+	return &Result{
+		Assignment: best,
+		Cost:       best.Evaluate(EvalOptions{}),
+		States:     states,
+		Complete:   complete,
+	}
+}

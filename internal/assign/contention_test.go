@@ -1,0 +1,108 @@
+package assign
+
+import (
+	"testing"
+
+	"mhla/internal/model"
+	"mhla/internal/platform"
+	"mhla/internal/reuse"
+)
+
+// slowBurstPlat has a 1 B/cycle off-chip burst and a single DMA
+// channel, so hidden transfer work can exceed the CPU time available
+// to overlap it.
+func slowBurstPlat() *platform.Platform {
+	return &platform.Platform{
+		Name: "slow-burst",
+		Layers: []platform.Layer{
+			{Name: "L1", Capacity: 4096, WordBytes: 2, EnergyRead: 1, EnergyWrite: 1.1,
+				LatencyRead: 1, LatencyWrite: 1, BurstBytesPerCycle: 8},
+			{Name: "SDRAM", Capacity: 0, WordBytes: 2, EnergyRead: 50, EnergyWrite: 52,
+				LatencyRead: 18, LatencyWrite: 18, BurstBytesPerCycle: 1, OffChip: true},
+		},
+		DMA: &platform.DMA{SetupCycles: 28, Channels: 1, EnergyPerTransfer: 30, MinBytes: 8},
+	}
+}
+
+// contentionProgram: a level-2 copy refetches a 512B segment per
+// (i,j) iteration while the CPU does only ~512 cycles of work per
+// segment — the DMA cannot keep up even when every transfer is
+// "hidden".
+func contentionProgram() *model.Program {
+	p := model.NewProgram("bandwidth-bound")
+	a := p.NewInput("a", 2, 8*8*256)
+	p.AddBlock("scan",
+		model.For("i", 8,
+			model.For("j", 8,
+				model.For("k", 256,
+					model.Load(a, model.Affine(0,
+						model.Term{Var: "i", Coef: 2048},
+						model.Term{Var: "j", Coef: 256},
+						model.Term{Var: "k", Coef: 1})),
+					model.Work(1),
+				))))
+	return p
+}
+
+func TestContentionCharged(t *testing.T) {
+	an := analyze(t, contentionProgram())
+	a := New(an, slowBurstPlat(), reuse.Slide)
+	a.Select(an.Chains[0].ID, 2, 0) // 512B segment per (i,j)
+
+	// Claim every transfer fully hidden: the bandwidth bound must
+	// charge the impossible part back as contention.
+	hidden := map[StreamKey]int64{}
+	var dmaBusy int64
+	for _, st := range a.Streams() {
+		hidden[st.Key] = st.BTTime
+		dmaBusy += st.Count * st.BTTime
+	}
+	c := a.Evaluate(EvalOptions{Hidden: hidden})
+	busy := c.ComputeCycles + c.AccessCycles
+	if dmaBusy <= busy {
+		t.Fatalf("test setup broken: DMA busy %d not above CPU busy %d", dmaBusy, busy)
+	}
+	if c.ContentionCycles == 0 {
+		t.Fatal("no contention charged despite DMA-bound transfers")
+	}
+	if got, want := c.ContentionCycles, dmaBusy-busy; got != want {
+		t.Errorf("ContentionCycles = %d, want %d", got, want)
+	}
+	if c.StallCycles != 0 {
+		t.Errorf("stalls = %d, want 0 (everything claimed hidden)", c.StallCycles)
+	}
+	// The total can never beat the DMA bandwidth bound.
+	if c.Cycles < dmaBusy {
+		t.Errorf("cycles %d below the DMA busy time %d", c.Cycles, dmaBusy)
+	}
+}
+
+func TestContentionScalesWithChannels(t *testing.T) {
+	an := analyze(t, contentionProgram())
+	run := func(channels int) Cost {
+		plat := slowBurstPlat()
+		plat.DMA.Channels = channels
+		a := New(an, plat, reuse.Slide)
+		a.Select(an.Chains[0].ID, 2, 0)
+		hidden := map[StreamKey]int64{}
+		for _, st := range a.Streams() {
+			hidden[st.Key] = st.BTTime
+		}
+		return a.Evaluate(EvalOptions{Hidden: hidden})
+	}
+	one, two := run(1), run(2)
+	if two.ContentionCycles >= one.ContentionCycles {
+		t.Errorf("2 channels contention %d not below 1 channel %d",
+			two.ContentionCycles, one.ContentionCycles)
+	}
+}
+
+func TestIdealIgnoresContention(t *testing.T) {
+	an := analyze(t, contentionProgram())
+	a := New(an, slowBurstPlat(), reuse.Slide)
+	a.Select(an.Chains[0].ID, 2, 0)
+	c := a.Evaluate(EvalOptions{Ideal: true})
+	if c.ContentionCycles != 0 || c.StallCycles != 0 {
+		t.Errorf("ideal charged contention %d / stalls %d", c.ContentionCycles, c.StallCycles)
+	}
+}

@@ -1,0 +1,104 @@
+package assign
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mhla/internal/model"
+)
+
+// ChainReport is the evaluated contribution of one reuse chain under
+// an assignment, for diagnostics and reports.
+type ChainReport struct {
+	// Chain is the chain ID.
+	Chain string
+	// Accesses is the CPU word accesses the chain performs.
+	Accesses int64
+	// AccessLayer names the layer the CPU accesses hit.
+	AccessLayer string
+	// Copies describes the selected copies ("level@layer(bytes)").
+	Copies []string
+	// TransferBytes is the total bytes its streams move.
+	TransferBytes int64
+	// Cycles and EnergyPJ are the chain's evaluated contribution
+	// (accesses plus transfers at full stall).
+	Cycles   int64
+	EnergyPJ float64
+}
+
+// Explain decomposes the assignment cost per chain, ordered by
+// descending energy contribution. The decomposition is exact: the
+// contributions plus the program compute cycles and the array init
+// transfers add up to Evaluate's totals (asserted by tests).
+func (a *Assignment) Explain() []ChainReport {
+	var out []ChainReport
+	for _, ch := range a.Analysis.Chains {
+		var lv, ly []int
+		if ca := a.Chains[ch.ID]; ca != nil {
+			lv, ly = ca.Levels, ca.Layers
+		}
+		c := chainContrib(a.Platform, a.Policy, ch, a.ArrayHome[ch.Array.Name], lv, ly)
+		rep := ChainReport{
+			Chain:       ch.ID,
+			Accesses:    ch.AccessesPerExecution(),
+			AccessLayer: a.Platform.Layers[a.AccessLayer(ch)].Name,
+			Cycles:      c.cycles,
+			EnergyPJ:    c.energy,
+		}
+		for i, l := range lv {
+			cand := ch.Candidate(l)
+			rep.Copies = append(rep.Copies,
+				fmt.Sprintf("%d@%s(%dB)", l, a.Platform.Layers[ly[i]].Name, cand.Bytes))
+		}
+		for _, st := range a.Streams() {
+			if st.ChainID == ch.ID {
+				rep.TransferBytes += st.Count * st.Bytes
+			}
+		}
+		out = append(out, rep)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].EnergyPJ != out[j].EnergyPJ {
+			return out[i].EnergyPJ > out[j].EnergyPJ
+		}
+		return out[i].Chain < out[j].Chain
+	})
+	return out
+}
+
+// ExplainString renders the per-chain breakdown as a table.
+func (a *Assignment) ExplainString() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-28s %12s %-8s %12s %14s %14s  %s\n",
+		"chain", "accesses", "hits", "moved(B)", "cycles", "energy(pJ)", "copies")
+	for _, r := range a.Explain() {
+		fmt.Fprintf(&sb, "%-28s %12d %-8s %12d %14d %14.0f  %s\n",
+			r.Chain, r.Accesses, r.AccessLayer, r.TransferBytes, r.Cycles, r.EnergyPJ,
+			strings.Join(r.Copies, " "))
+	}
+	return sb.String()
+}
+
+// ArrayReport describes one array's placement.
+type ArrayReport struct {
+	Array string
+	Home  string
+	Bytes int64
+	Spans string
+}
+
+// ExplainArrays lists the array placements with their sizes.
+func (a *Assignment) ExplainArrays() []ArrayReport {
+	arrays := append([]*model.Array(nil), a.Analysis.Program.Arrays...)
+	sort.Slice(arrays, func(i, j int) bool { return arrays[i].Name < arrays[j].Name })
+	var out []ArrayReport
+	for _, arr := range arrays {
+		out = append(out, ArrayReport{
+			Array: arr.Name,
+			Home:  a.Platform.Layers[a.ArrayHome[arr.Name]].Name,
+			Bytes: arr.Bytes(),
+		})
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+package assign
+
+import (
+	"fmt"
+
+	"mhla/internal/platform"
+	"mhla/internal/reuse"
+)
+
+// Objective selects what the assignment search minimizes.
+type Objective int
+
+const (
+	// MinEnergy minimizes memory-subsystem energy (the primary MHLA
+	// objective; performance improves alongside).
+	MinEnergy Objective = iota
+	// MinTime minimizes execution cycles.
+	MinTime
+	// MinEDP minimizes the energy-delay product.
+	MinEDP
+)
+
+// String names the objective.
+func (o Objective) String() string {
+	switch o {
+	case MinEnergy:
+		return "energy"
+	case MinTime:
+		return "time"
+	case MinEDP:
+		return "edp"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// Score maps a cost to the scalar being minimized.
+func (o Objective) Score(c Cost) float64 {
+	switch o {
+	case MinTime:
+		return float64(c.Cycles)
+	case MinEDP:
+		return c.Energy * float64(c.Cycles)
+	default:
+		return c.Energy
+	}
+}
+
+// Engine selects the search algorithm.
+type Engine int
+
+const (
+	// Greedy is the steepest-descent heuristic of the MHLA tool:
+	// start from the out-of-the-box placement and repeatedly apply
+	// the best-gain move that still fits.
+	Greedy Engine = iota
+	// BranchBound explores the full decision space with lower-bound
+	// pruning; optimal, for small/medium problems.
+	BranchBound
+	// Exhaustive explores the full decision space without bound
+	// pruning; a reference for tests.
+	Exhaustive
+)
+
+// String names the engine.
+func (e Engine) String() string {
+	switch e {
+	case Greedy:
+		return "greedy"
+	case BranchBound:
+		return "branch-and-bound"
+	case Exhaustive:
+		return "exhaustive"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// Options configure the assignment search.
+type Options struct {
+	// Policy is the copy transfer policy (Slide exploits
+	// inter-iteration reuse; Refetch is the ablation baseline).
+	Policy reuse.Policy
+	// Objective is the quantity minimized.
+	Objective Objective
+	// InPlace enables lifetime-aware capacity estimation.
+	InPlace bool
+	// Engine selects the algorithm.
+	Engine Engine
+	// GainPerByte makes the greedy rank moves by gain per byte of
+	// on-chip space consumed rather than absolute gain.
+	GainPerByte bool
+	// MaxStates caps the states explored by BranchBound/Exhaustive.
+	MaxStates int
+	// MaxGreedyIters caps greedy iterations (a safety net; the search
+	// terminates on its own because cost strictly decreases).
+	MaxGreedyIters int
+}
+
+// DefaultOptions returns the configuration used by the experiments:
+// slide policy, energy objective, in-place estimation, greedy engine
+// with the gain-per-byte ranking of the MHLA tool (gains are weighed
+// against the on-chip bytes they consume). Absolute-gain ranking is
+// available as an ablation; it prefers coarser, more DMA-friendly
+// granularities at higher space cost.
+func DefaultOptions() Options {
+	return Options{
+		Policy:         reuse.Slide,
+		Objective:      MinEnergy,
+		InPlace:        true,
+		Engine:         Greedy,
+		GainPerByte:    true,
+		MaxStates:      500_000,
+		MaxGreedyIters: 10_000,
+	}
+}
+
+// Result is the outcome of an assignment search.
+type Result struct {
+	// Assignment is the best assignment found.
+	Assignment *Assignment
+	// Cost is its evaluated cost (no time extensions).
+	Cost Cost
+	// Baseline is the out-of-the-box cost for reference.
+	Baseline Cost
+	// States counts evaluated candidate states (moves for greedy,
+	// leaves for the exact engines).
+	States int
+	// Complete reports whether an exact engine finished within
+	// MaxStates (always true for greedy).
+	Complete bool
+}
+
+// Search runs the assignment step on an analyzed program.
+func Search(an *reuse.Analysis, plat *platform.Platform, opts Options) (*Result, error) {
+	if err := plat.Validate(); err != nil {
+		return nil, fmt.Errorf("assign: %w", err)
+	}
+	if opts.MaxGreedyIters <= 0 {
+		opts.MaxGreedyIters = 10_000
+	}
+	if opts.MaxStates <= 0 {
+		opts.MaxStates = 500_000
+	}
+	baseline := New(an, plat, opts.Policy)
+	baseline.InPlace = opts.InPlace
+	baseCost := baseline.Evaluate(EvalOptions{})
+
+	var res *Result
+	switch opts.Engine {
+	case Greedy:
+		res = greedySearch(an, plat, opts)
+	case BranchBound:
+		res = exactSearch(an, plat, opts, true)
+	case Exhaustive:
+		res = exactSearch(an, plat, opts, false)
+	default:
+		return nil, fmt.Errorf("assign: unknown engine %v", opts.Engine)
+	}
+	res.Baseline = baseCost
+	return res, nil
+}

@@ -1,0 +1,193 @@
+// Package core orchestrates the complete MHLA-with-time-extensions
+// flow of the paper and is the public entry point the command-line
+// tools and examples use:
+//
+//	result, err := core.Run(program, core.Config{Platform: energy.TwoLevel(4096)})
+//
+// The flow is the paper's two-step exploration:
+//
+//  1. Assignment step (internal/assign): data-reuse analysis, then
+//     layer assignment and allocation under the in-place size
+//     estimator.
+//  2. Time-extension step (internal/te): per-block-transfer
+//     prefetch scheduling (Figure 1), applicable when the platform
+//     has a DMA engine.
+//
+// Run evaluates the four operating points reported by the paper's
+// figures: Original (out-of-the-box, everything off-chip), MHLA
+// (step 1), MHLA+TE (both steps) and Ideal (every block transfer
+// hidden — the "0 wait cycles" bound).
+package core
+
+import (
+	"fmt"
+
+	"mhla/internal/assign"
+	"mhla/internal/model"
+	"mhla/internal/platform"
+	"mhla/internal/reuse"
+	"mhla/internal/sim"
+	"mhla/internal/te"
+)
+
+// Config configures a Run.
+type Config struct {
+	// Platform is the target architecture (required).
+	Platform *platform.Platform
+	// Search configures the assignment step; zero value means
+	// assign.DefaultOptions().
+	Search assign.Options
+	// DisableTE skips the time-extension step even when a DMA engine
+	// exists (the MHLA+TE point then equals MHLA).
+	DisableTE bool
+}
+
+// Result is the outcome of the full exploration.
+type Result struct {
+	// Program and Platform identify the experiment.
+	Program  *model.Program
+	Platform *platform.Platform
+	// Analysis is the data-reuse analysis.
+	Analysis *reuse.Analysis
+	// Assignment is the MHLA step-1 decision.
+	Assignment *assign.Assignment
+	// Plan is the time-extension step-2 decision (empty and
+	// non-applicable without a DMA engine or with DisableTE).
+	Plan *te.Plan
+
+	// The four evaluated operating points.
+	Original assign.Cost
+	MHLA     assign.Cost
+	TE       assign.Cost
+	Ideal    assign.Cost
+
+	// SearchStates counts states evaluated by the assignment search.
+	SearchStates int
+}
+
+// Run executes the full flow on a program.
+func Run(p *model.Program, cfg Config) (*Result, error) {
+	if cfg.Platform == nil {
+		return nil, fmt.Errorf("core: no platform configured")
+	}
+	if err := cfg.Platform.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	search := cfg.Search
+	if search == (assign.Options{}) {
+		search = assign.DefaultOptions()
+	}
+
+	an, err := reuse.Analyze(p)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	res := &Result{Program: p, Platform: cfg.Platform, Analysis: an}
+
+	// Step 1: assignment.
+	sr, err := assign.Search(an, cfg.Platform, search)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	res.Assignment = sr.Assignment
+	res.Original = sr.Baseline
+	res.MHLA = sr.Cost
+	res.SearchStates = sr.States
+
+	// Step 2: time extensions.
+	if cfg.DisableTE {
+		res.Plan = &te.Plan{Assignment: sr.Assignment, Applicable: false}
+		res.TE = res.MHLA
+	} else {
+		plan, err := te.Extend(sr.Assignment)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		res.Plan = plan
+		if plan.Applicable {
+			res.TE = plan.Assignment.Evaluate(assign.EvalOptions{Hidden: plan.Hidden()})
+		} else {
+			res.TE = res.MHLA
+		}
+	}
+
+	// Ideal: every block transfer hidden.
+	res.Ideal = sr.Assignment.Evaluate(assign.EvalOptions{Ideal: true})
+	return res, nil
+}
+
+// Gains summarises a result the way the paper's figures do: values
+// are fractions of the Original (1.0 = no change, lower is better).
+type Gains struct {
+	MHLACycles  float64 // Figure 2, MHLA bar
+	TECycles    float64 // Figure 2, MHLA+TE bar
+	IdealCycles float64 // Figure 2, ideal bar
+	MHLAEnergy  float64 // Figure 3, MHLA bar
+}
+
+// Gains normalizes the result against the Original point.
+func (r *Result) Gains() Gains {
+	oc := float64(r.Original.Cycles)
+	return Gains{
+		MHLACycles:  float64(r.MHLA.Cycles) / oc,
+		TECycles:    float64(r.TE.Cycles) / oc,
+		IdealCycles: float64(r.Ideal.Cycles) / oc,
+		MHLAEnergy:  r.MHLA.Energy / r.Original.Energy,
+	}
+}
+
+// TEBoost returns the extra performance gain of the TE step over
+// MHLA alone, as a fraction of the MHLA cycles (the paper's "up to
+// 33%").
+func (r *Result) TEBoost() float64 {
+	if r.MHLA.Cycles == 0 {
+		return 0
+	}
+	return 1 - float64(r.TE.Cycles)/float64(r.MHLA.Cycles)
+}
+
+// Verify cross-checks the analytical MHLA evaluation against the
+// element-level trace simulator. It is intended for down-scaled
+// programs; maxAccesses bounds the trace (0 = simulator default).
+func (r *Result) Verify(maxAccesses int64) error {
+	tr, err := sim.Trace(r.Assignment, sim.Options{MaxAccesses: maxAccesses})
+	if err != nil {
+		return fmt.Errorf("core: verify: %w", err)
+	}
+	for i, n := range r.MHLA.PerLayerAccesses {
+		if tr.LayerAccesses[i] != n {
+			return fmt.Errorf("core: verify: layer %d accesses differ: trace %d, analytic %d",
+				i, tr.LayerAccesses[i], n)
+		}
+	}
+	for _, st := range r.Assignment.Streams() {
+		if tr.TransferBytes[st.Key] != st.Count*st.Bytes {
+			return fmt.Errorf("core: verify: stream %s bytes differ: trace %d, analytic %d",
+				st.Key, tr.TransferBytes[st.Key], st.Count*st.Bytes)
+		}
+	}
+	// The trace accumulates energy event by event; allow relative
+	// float rounding over millions of additions.
+	tol := 1e-9 * (1 + r.MHLA.Energy)
+	if diff := tr.Energy - r.MHLA.Energy; diff > tol || diff < -tol {
+		return fmt.Errorf("core: verify: energy differs: trace %v, analytic %v", tr.Energy, r.MHLA.Energy)
+	}
+	return nil
+}
+
+// Summary renders the four operating points like the paper's figures.
+func (r *Result) Summary() string {
+	g := r.Gains()
+	s := fmt.Sprintf("%s on %s:\n", r.Program.Name, r.Platform.Name)
+	s += fmt.Sprintf("  original  %12d cycles  %14.0f pJ\n", r.Original.Cycles, r.Original.Energy)
+	s += fmt.Sprintf("  mhla      %12d cycles  %14.0f pJ  (%.0f%% cycles, %.0f%% energy)\n",
+		r.MHLA.Cycles, r.MHLA.Energy, 100*g.MHLACycles, 100*g.MHLAEnergy)
+	s += fmt.Sprintf("  mhla+te   %12d cycles  %14.0f pJ  (%.0f%% cycles, TE boost %.0f%%)\n",
+		r.TE.Cycles, r.TE.Energy, 100*g.TECycles, 100*r.TEBoost())
+	s += fmt.Sprintf("  ideal     %12d cycles  %14.0f pJ  (%.0f%% cycles)\n",
+		r.Ideal.Cycles, r.Ideal.Energy, 100*g.IdealCycles)
+	return s
+}

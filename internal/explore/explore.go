@@ -1,0 +1,104 @@
+// Package explore drives the trade-off exploration of the paper: it
+// sweeps the on-chip layer size, runs the full MHLA+TE flow at every
+// point, and reports the resulting (size, energy, time) trade-off
+// curve and its Pareto frontier. This is the "thorough trade-off
+// exploration for different memory layer sizes" the technique claims
+// as its purpose.
+package explore
+
+import (
+	"fmt"
+
+	"mhla/internal/assign"
+	"mhla/internal/core"
+	"mhla/internal/energy"
+	"mhla/internal/model"
+	"mhla/internal/pareto"
+)
+
+// DefaultSizes returns the standard L1 sweep: 256 B to 64 KiB in
+// powers of two.
+func DefaultSizes() []int64 {
+	var sizes []int64
+	for c := int64(256); c <= 64*1024; c *= 2 {
+		sizes = append(sizes, c)
+	}
+	return sizes
+}
+
+// Point is one evaluated sweep point.
+type Point struct {
+	// L1 is the on-chip capacity of the point.
+	L1 int64
+	// Result is the full flow outcome at this size.
+	Result *core.Result
+}
+
+// Sweep is the outcome of an exploration.
+type Sweep struct {
+	// Program names the explored application.
+	Program string
+	// Points are the evaluated sizes, ascending.
+	Points []Point
+}
+
+// Run sweeps the given on-chip sizes for one program using the
+// two-level experiment platform. A zero options value means
+// assign.DefaultOptions().
+func Run(p *model.Program, sizes []int64, opts assign.Options) (*Sweep, error) {
+	if len(sizes) == 0 {
+		sizes = DefaultSizes()
+	}
+	sw := &Sweep{Program: p.Name}
+	for _, l1 := range sizes {
+		res, err := core.Run(p, core.Config{Platform: energy.TwoLevel(l1), Search: opts})
+		if err != nil {
+			return nil, fmt.Errorf("explore: size %d: %w", l1, err)
+		}
+		sw.Points = append(sw.Points, Point{L1: l1, Result: res})
+	}
+	return sw, nil
+}
+
+// TEPoints returns the MHLA+TE operating points as Pareto candidates.
+func (s *Sweep) TEPoints() []pareto.Point {
+	pts := make([]pareto.Point, len(s.Points))
+	for i, p := range s.Points {
+		pts[i] = pareto.Point{
+			Label:  fmt.Sprintf("l1-%d", p.L1),
+			Size:   p.L1,
+			Cycles: p.Result.TE.Cycles,
+			Energy: p.Result.TE.Energy,
+		}
+	}
+	return pts
+}
+
+// Frontier returns the Pareto frontier of the MHLA+TE points.
+func (s *Sweep) Frontier() []pareto.Point { return pareto.Frontier(s.TEPoints()) }
+
+// CSV renders the sweep as comma-separated values with a header, one
+// row per size: the four operating points in cycles and the energies.
+func (s *Sweep) CSV() string {
+	out := "app,l1_bytes,orig_cycles,mhla_cycles,te_cycles,ideal_cycles,orig_pj,mhla_pj\n"
+	for _, p := range s.Points {
+		r := p.Result
+		out += fmt.Sprintf("%s,%d,%d,%d,%d,%d,%.0f,%.0f\n",
+			s.Program, p.L1,
+			r.Original.Cycles, r.MHLA.Cycles, r.TE.Cycles, r.Ideal.Cycles,
+			r.Original.Energy, r.MHLA.Energy)
+	}
+	return out
+}
+
+// String renders a compact sweep table with normalized values.
+func (s *Sweep) String() string {
+	out := fmt.Sprintf("exploration of %s\n", s.Program)
+	out += fmt.Sprintf("%10s %9s %9s %9s %9s\n", "l1", "mhla", "te", "ideal", "energy")
+	for _, p := range s.Points {
+		g := p.Result.Gains()
+		out += fmt.Sprintf("%10d %8.1f%% %8.1f%% %8.1f%% %8.1f%%\n",
+			p.L1, 100*g.MHLACycles, 100*g.TECycles, 100*g.IdealCycles, 100*g.MHLAEnergy)
+	}
+	return out
+}

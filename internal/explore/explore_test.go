@@ -1,0 +1,104 @@
+package explore
+
+import (
+	"strings"
+	"testing"
+
+	"mhla/internal/apps"
+	"mhla/internal/assign"
+)
+
+func TestSweepDurbin(t *testing.T) {
+	app, _ := apps.ByName("durbin")
+	p := app.Build(apps.Test)
+	sizes := []int64{256, 1024, 4096}
+	sw, err := Run(p, sizes, assign.DefaultOptions())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(sw.Points) != 3 {
+		t.Fatalf("points = %d", len(sw.Points))
+	}
+	// Larger scratchpads can only help or tie the search objective
+	// (energy) until SRAM cost growth bites; at these small sizes
+	// energy must be non-increasing.
+	for i := 1; i < len(sw.Points); i++ {
+		prev, cur := sw.Points[i-1].Result.MHLA, sw.Points[i].Result.MHLA
+		if cur.Energy > prev.Energy*1.5 {
+			t.Errorf("energy exploded from %v to %v between sizes %d and %d",
+				prev.Energy, cur.Energy, sw.Points[i-1].L1, sw.Points[i].L1)
+		}
+		if cur.Cycles > sw.Points[i].Result.Original.Cycles {
+			t.Errorf("size %d: MHLA above original", sw.Points[i].L1)
+		}
+	}
+}
+
+func TestSweepFrontierNonEmpty(t *testing.T) {
+	app, _ := apps.ByName("voice")
+	sw, err := Run(app.Build(apps.Test), []int64{256, 1024, 4096}, assign.DefaultOptions())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	front := sw.Frontier()
+	if len(front) == 0 {
+		t.Fatal("empty frontier")
+	}
+	if len(front) > len(sw.Points) {
+		t.Fatalf("frontier larger than sweep")
+	}
+	// Every frontier point must come from the sweep.
+	for _, fp := range front {
+		found := false
+		for _, p := range sw.TEPoints() {
+			if p == fp {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("frontier point %v not in sweep", fp)
+		}
+	}
+}
+
+func TestDefaultSizes(t *testing.T) {
+	sizes := DefaultSizes()
+	if sizes[0] != 256 || sizes[len(sizes)-1] != 64*1024 {
+		t.Errorf("DefaultSizes = %v", sizes)
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] != 2*sizes[i-1] {
+			t.Errorf("sizes not powers of two: %v", sizes)
+		}
+	}
+}
+
+func TestSweepCSVAndString(t *testing.T) {
+	app, _ := apps.ByName("sobel")
+	sw, err := Run(app.Build(apps.Test), []int64{512}, assign.DefaultOptions())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	csv := sw.CSV()
+	if !strings.HasPrefix(csv, "app,l1_bytes,orig_cycles") {
+		t.Errorf("CSV header missing: %q", csv)
+	}
+	if !strings.Contains(csv, "sobel,512,") {
+		t.Errorf("CSV row missing: %q", csv)
+	}
+	s := sw.String()
+	if !strings.Contains(s, "exploration of sobel") || !strings.Contains(s, "512") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestSweepDefaultsWhenNoSizes(t *testing.T) {
+	app, _ := apps.ByName("durbin")
+	sw, err := Run(app.Build(apps.Test), nil, assign.DefaultOptions())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(sw.Points) != len(DefaultSizes()) {
+		t.Errorf("points = %d, want %d", len(sw.Points), len(DefaultSizes()))
+	}
+}

@@ -1,0 +1,100 @@
+package model
+
+// This file provides a compact construction API for application
+// models. The nine benchmark models in internal/apps are written with
+// these helpers; see examples/customapp for a guided walk-through.
+
+// NewProgram returns an empty program with the given name.
+func NewProgram(name string) *Program { return &Program{Name: name} }
+
+// NewArray creates an array, registers it with the program and
+// returns it.
+func (p *Program) NewArray(name string, elemSize int, dims ...int) *Array {
+	a := &Array{Name: name, Dims: append([]int(nil), dims...), ElemSize: elemSize}
+	p.Arrays = append(p.Arrays, a)
+	return a
+}
+
+// NewInput creates an Input array (contents exist before the program
+// runs) and registers it.
+func (p *Program) NewInput(name string, elemSize int, dims ...int) *Array {
+	a := p.NewArray(name, elemSize, dims...)
+	a.Input = true
+	return a
+}
+
+// NewOutput creates an Output array (contents survive the program)
+// and registers it.
+func (p *Program) NewOutput(name string, elemSize int, dims ...int) *Array {
+	a := p.NewArray(name, elemSize, dims...)
+	a.Output = true
+	return a
+}
+
+// AddBlock appends a top-level block with the given body.
+func (p *Program) AddBlock(name string, body ...Node) *Block {
+	b := &Block{Name: name, Body: body}
+	p.Blocks = append(p.Blocks, b)
+	return b
+}
+
+// For builds a normalized loop node.
+func For(v string, trip int, body ...Node) *Loop {
+	return &Loop{Var: v, Trip: trip, Body: body}
+}
+
+// Load builds a read access; each index argument is one dimension's
+// affine expression.
+func Load(a *Array, index ...Expr) *Access {
+	return &Access{Array: a, Kind: Read, Index: index}
+}
+
+// Store builds a write access.
+func Store(a *Array, index ...Expr) *Access {
+	return &Access{Array: a, Kind: Write, Index: index}
+}
+
+// Work builds a pure-compute node of the given cycle cost.
+func Work(cycles int64) *Compute { return &Compute{Cycles: cycles} }
+
+// Clone returns a deep copy of the program. Arrays are duplicated and
+// accesses re-targeted, so mutating the copy never affects the
+// original.
+func (p *Program) Clone() *Program {
+	q := &Program{Name: p.Name}
+	amap := make(map[*Array]*Array, len(p.Arrays))
+	for _, a := range p.Arrays {
+		c := &Array{
+			Name:     a.Name,
+			Dims:     append([]int(nil), a.Dims...),
+			ElemSize: a.ElemSize,
+			Input:    a.Input,
+			Output:   a.Output,
+		}
+		amap[a] = c
+		q.Arrays = append(q.Arrays, c)
+	}
+	var cloneNodes func(nodes []Node) []Node
+	cloneNodes = func(nodes []Node) []Node {
+		out := make([]Node, len(nodes))
+		for i, n := range nodes {
+			switch n := n.(type) {
+			case *Loop:
+				out[i] = &Loop{Var: n.Var, Trip: n.Trip, Body: cloneNodes(n.Body)}
+			case *Access:
+				idx := make([]Expr, len(n.Index))
+				for j, e := range n.Index {
+					idx[j] = Expr{Const: e.Const, Terms: append([]Term(nil), e.Terms...)}
+				}
+				out[i] = &Access{Array: amap[n.Array], Kind: n.Kind, Index: idx}
+			case *Compute:
+				out[i] = &Compute{Cycles: n.Cycles}
+			}
+		}
+		return out
+	}
+	for _, b := range p.Blocks {
+		q.Blocks = append(q.Blocks, &Block{Name: b.Name, Body: cloneNodes(b.Body)})
+	}
+	return q
+}

@@ -1,0 +1,210 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExprConstructorsAndCoef(t *testing.T) {
+	e := Affine(3, Term{"i", 2}, Term{"j", -1})
+	if got := e.Coef("i"); got != 2 {
+		t.Errorf("Coef(i) = %d, want 2", got)
+	}
+	if got := e.Coef("j"); got != -1 {
+		t.Errorf("Coef(j) = %d, want -1", got)
+	}
+	if got := e.Coef("k"); got != 0 {
+		t.Errorf("Coef(k) = %d, want 0", got)
+	}
+	if got := e.Const; got != 3 {
+		t.Errorf("Const = %d, want 3", got)
+	}
+}
+
+func TestExprNormalizeMergesAndDropsZeros(t *testing.T) {
+	e := Affine(0, Term{"i", 2}, Term{"i", -2}, Term{"j", 1}, Term{"j", 4})
+	if got := len(e.Terms); got != 1 {
+		t.Fatalf("normalize kept %d terms, want 1: %v", got, e.Terms)
+	}
+	if e.Terms[0] != (Term{"j", 5}) {
+		t.Errorf("merged term = %v, want {j 5}", e.Terms[0])
+	}
+}
+
+func TestExprPlusAndScale(t *testing.T) {
+	a := Affine(1, Term{"i", 2})
+	b := Affine(2, Term{"i", -2}, Term{"j", 3})
+	sum := a.Plus(b)
+	if sum.Const != 3 || sum.Coef("i") != 0 || sum.Coef("j") != 3 {
+		t.Errorf("Plus = %v, want 3 + 3*j", sum)
+	}
+	sc := b.Scale(-2)
+	if sc.Const != -4 || sc.Coef("i") != 4 || sc.Coef("j") != -6 {
+		t.Errorf("Scale = %v", sc)
+	}
+	if z := b.Scale(0); z.Const != 0 || len(z.Terms) != 0 {
+		t.Errorf("Scale(0) = %v, want zero expr", z)
+	}
+}
+
+func TestExprPlusConstDoesNotAlias(t *testing.T) {
+	a := Affine(1, Term{"i", 1})
+	b := a.PlusConst(5)
+	b.Terms[0].Coef = 99
+	if a.Terms[0].Coef != 1 {
+		t.Error("PlusConst shares term storage with the receiver")
+	}
+}
+
+func TestExprEval(t *testing.T) {
+	e := Affine(10, Term{"i", 3}, Term{"j", -2})
+	got := e.Eval(map[string]int{"i": 4, "j": 5})
+	if got != 10+12-10 {
+		t.Errorf("Eval = %d, want 12", got)
+	}
+	if g := e.Eval(nil); g != 10 {
+		t.Errorf("Eval(nil) = %d, want 10", g)
+	}
+}
+
+func TestExprRangeMatchesBruteForce(t *testing.T) {
+	trips := map[string]int{"i": 4, "j": 7}
+	cases := []Expr{
+		Affine(0, Term{"i", 1}),
+		Affine(5, Term{"i", -2}, Term{"j", 3}),
+		Affine(-1, Term{"i", 16}, Term{"j", 1}),
+		Affine(2),
+		Affine(0, Term{"i", -1}, Term{"j", -1}),
+	}
+	for _, e := range cases {
+		min, max := e.Range(trips)
+		bmin, bmax := 1<<30, -(1 << 30)
+		for i := 0; i < trips["i"]; i++ {
+			for j := 0; j < trips["j"]; j++ {
+				v := e.Eval(map[string]int{"i": i, "j": j})
+				if v < bmin {
+					bmin = v
+				}
+				if v > bmax {
+					bmax = v
+				}
+			}
+		}
+		if min != bmin || max != bmax {
+			t.Errorf("%s: Range = [%d,%d], brute force = [%d,%d]", e, min, max, bmin, bmax)
+		}
+	}
+}
+
+func TestExprRangeIgnoresOutOfScopeVars(t *testing.T) {
+	e := Affine(1, Term{"i", 5}, Term{"z", 100})
+	min, max := e.Range(map[string]int{"i": 3})
+	// z is treated as fixed at 0.
+	if min != 1 || max != 11 {
+		t.Errorf("Range = [%d,%d], want [1,11]", min, max)
+	}
+}
+
+func TestExprEqual(t *testing.T) {
+	a := Affine(1, Term{"i", 2}, Term{"j", 0})
+	b := Affine(1, Term{"i", 1}, Term{"i", 1})
+	if !a.Equal(b) {
+		t.Errorf("%v should equal %v", a, b)
+	}
+	c := Affine(2, Term{"i", 2})
+	if a.Equal(c) {
+		t.Errorf("%v should not equal %v", a, c)
+	}
+}
+
+func TestExprString(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{Affine(0), "0"},
+		{Affine(7), "7"},
+		{Affine(0, Term{"i", 1}), "i"},
+		{Affine(3, Term{"i", -1}), "-i + 3"},
+		{Affine(0, Term{"i", 2}, Term{"j", 1}), "2*i + j"},
+		{Affine(-4, Term{"i", 1}), "i - 4"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+// quickExpr builds a random expression over iterators i,j,k.
+func quickExpr(r *rand.Rand) Expr {
+	vars := []string{"i", "j", "k"}
+	e := Expr{Const: r.Intn(21) - 10}
+	for _, v := range vars {
+		if r.Intn(2) == 1 {
+			e.Terms = append(e.Terms, Term{Var: v, Coef: r.Intn(9) - 4})
+		}
+	}
+	return e.normalize()
+}
+
+func TestQuickExprPlusCommutative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := quickExpr(r), quickExpr(r)
+		return a.Plus(b).Equal(b.Plus(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickExprEvalLinear(t *testing.T) {
+	// Eval(a+b, env) == Eval(a, env) + Eval(b, env)
+	f := func(seed int64, i, j, k int8) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := quickExpr(r), quickExpr(r)
+		env := map[string]int{"i": int(i), "j": int(j), "k": int(k)}
+		return a.Plus(b).Eval(env) == a.Eval(env)+b.Eval(env)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickExprRangeContainsAllValues(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := quickExpr(r)
+		trips := map[string]int{"i": 1 + r.Intn(5), "j": 1 + r.Intn(5), "k": 1 + r.Intn(5)}
+		min, max := e.Range(trips)
+		for i := 0; i < trips["i"]; i++ {
+			for j := 0; j < trips["j"]; j++ {
+				for k := 0; k < trips["k"]; k++ {
+					v := e.Eval(map[string]int{"i": i, "j": j, "k": k})
+					if v < min || v > max {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickExprScaleDistributes(t *testing.T) {
+	f := func(seed int64, k int8) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := quickExpr(r), quickExpr(r)
+		lhs := a.Plus(b).Scale(int(k))
+		rhs := a.Scale(int(k)).Plus(b.Scale(int(k)))
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,260 @@
+// Package model defines the application abstraction consumed by the
+// MHLA tool flow: arrays, normalized loop nests and affine array
+// accesses, organised as a sequence of top-level blocks.
+//
+// This is the same program abstraction the ATOMIUM/MHLA prototype
+// operates on: loops are normalized (iterator runs 0..Trip-1 with step
+// 1) and every array index expression is affine in the enclosing loop
+// iterators. The abstraction deliberately omits scalar data flow; only
+// the memory behaviour (which elements are touched, how often, in which
+// order) and the pure compute cycles per iteration are retained,
+// because those fully determine the energy and performance models of
+// the paper.
+package model
+
+import "fmt"
+
+// AccessKind distinguishes read accesses from write accesses.
+type AccessKind int
+
+const (
+	// Read is a load from an array element.
+	Read AccessKind = iota
+	// Write is a store to an array element.
+	Write
+)
+
+// String returns "read" or "write".
+func (k AccessKind) String() string {
+	switch k {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	default:
+		return fmt.Sprintf("AccessKind(%d)", int(k))
+	}
+}
+
+// Array describes a program array. Arrays are the unit of layer
+// assignment; copies of sub-arrays (copy candidates) are derived from
+// the accesses to them.
+type Array struct {
+	// Name identifies the array; must be unique within a Program.
+	Name string
+	// Dims holds the extent of every dimension, outermost first.
+	Dims []int
+	// ElemSize is the size of one element in bytes.
+	ElemSize int
+	// Input marks arrays whose contents exist before the program
+	// starts (e.g. an input frame). Input arrays are live from the
+	// first block and initially reside in the background memory.
+	Input bool
+	// Output marks arrays whose contents must survive the program
+	// (e.g. the encoded bitstream). Output arrays are live until the
+	// last block.
+	Output bool
+}
+
+// Elems returns the total number of elements of the array.
+func (a *Array) Elems() int64 {
+	n := int64(1)
+	for _, d := range a.Dims {
+		n *= int64(d)
+	}
+	return n
+}
+
+// Bytes returns the total storage size of the array in bytes.
+func (a *Array) Bytes() int64 { return a.Elems() * int64(a.ElemSize) }
+
+// Rank returns the number of dimensions.
+func (a *Array) Rank() int { return len(a.Dims) }
+
+// Node is one element of a loop body: a nested Loop, an Access or a
+// Compute statement.
+type Node interface{ isNode() }
+
+// Loop is a normalized counted loop: Var ranges over 0..Trip-1 with
+// step 1. Generality (non-unit strides, offsets, reversed directions)
+// is expressed through the affine coefficients of the access
+// expressions instead, which keeps the reuse analysis exact.
+type Loop struct {
+	// Var is the iterator name; must be unique along any nest path.
+	Var string
+	// Trip is the number of iterations; must be >= 1.
+	Trip int
+	// Body is executed once per iteration, in order.
+	Body []Node
+}
+
+func (*Loop) isNode() {}
+
+// Access is a single affine array reference, executed once per
+// iteration of its innermost enclosing loop.
+type Access struct {
+	// Array is the referenced array.
+	Array *Array
+	// Kind says whether the access reads or writes the element.
+	Kind AccessKind
+	// Index holds one affine expression per array dimension.
+	Index []Expr
+}
+
+func (*Access) isNode() {}
+
+// Compute models pure CPU work: Cycles processor cycles that do not
+// touch the memory hierarchy, spent once per enclosing iteration.
+// These are the cycles that time extensions can hide DMA transfers
+// behind.
+type Compute struct {
+	Cycles int64
+}
+
+func (*Compute) isNode() {}
+
+// Block is one top-level phase of the application: a straight-line
+// sequence of loop nests and statements. Blocks execute in order and
+// are the granularity at which array lifetimes are tracked for the
+// in-place optimization.
+type Block struct {
+	// Name labels the block in reports (e.g. "gauss-x", "match").
+	Name string
+	// Body is the block's code.
+	Body []Node
+}
+
+// Program is a complete application model.
+type Program struct {
+	// Name identifies the application (e.g. "motion-estimation").
+	Name string
+	// Arrays lists every array referenced by the blocks.
+	Arrays []*Array
+	// Blocks is the ordered sequence of top-level phases.
+	Blocks []*Block
+}
+
+// Array returns the array with the given name, or nil.
+func (p *Program) Array(name string) *Array {
+	for _, a := range p.Arrays {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// AccessRef locates one Access in the program: the top-level block it
+// belongs to and the stack of enclosing loops, outermost first.
+type AccessRef struct {
+	// BlockIndex is the index into Program.Blocks.
+	BlockIndex int
+	// Block is the containing block.
+	Block *Block
+	// Nest holds the enclosing loops, outermost first. May be empty
+	// for an access directly inside a block.
+	Nest []*Loop
+	// Access is the located access.
+	Access *Access
+	// Position is a stable, unique ordinal of the access within the
+	// program (document order), used for deterministic iteration.
+	Position int
+}
+
+// Executions returns how many times the access runs: the product of
+// the trip counts of its enclosing loops.
+func (r AccessRef) Executions() int64 {
+	n := int64(1)
+	for _, l := range r.Nest {
+		n *= int64(l.Trip)
+	}
+	return n
+}
+
+// Accesses returns every access of the program in document order.
+func (p *Program) Accesses() []AccessRef {
+	var refs []AccessRef
+	pos := 0
+	for bi, b := range p.Blocks {
+		var walk func(nodes []Node, nest []*Loop)
+		walk = func(nodes []Node, nest []*Loop) {
+			for _, n := range nodes {
+				switch n := n.(type) {
+				case *Loop:
+					walk(n.Body, append(nest[:len(nest):len(nest)], n))
+				case *Access:
+					refs = append(refs, AccessRef{
+						BlockIndex: bi,
+						Block:      b,
+						Nest:       nest,
+						Access:     n,
+						Position:   pos,
+					})
+					pos++
+				}
+			}
+		}
+		walk(b.Body, nil)
+	}
+	return refs
+}
+
+// ComputeCycles returns the total pure-compute cycles of the program:
+// every Compute node's cycles multiplied by its execution count.
+func (p *Program) ComputeCycles() int64 {
+	var total int64
+	for _, b := range p.Blocks {
+		total += b.ComputeCycles()
+	}
+	return total
+}
+
+// ComputeCycles returns the pure-compute cycles of one block.
+func (b *Block) ComputeCycles() int64 { return computeCycles(b.Body, 1) }
+
+func computeCycles(nodes []Node, mult int64) int64 {
+	var total int64
+	for _, n := range nodes {
+		switch n := n.(type) {
+		case *Loop:
+			total += computeCycles(n.Body, mult*int64(n.Trip))
+		case *Compute:
+			total += n.Cycles * mult
+		}
+	}
+	return total
+}
+
+// AccessCount summarises how often an array is read and written.
+type AccessCount struct {
+	Reads  int64
+	Writes int64
+}
+
+// Total returns reads plus writes.
+func (c AccessCount) Total() int64 { return c.Reads + c.Writes }
+
+// AccessCounts returns the per-array access totals of the program,
+// keyed by array name.
+func (p *Program) AccessCounts() map[string]AccessCount {
+	counts := make(map[string]AccessCount)
+	for _, ref := range p.Accesses() {
+		c := counts[ref.Access.Array.Name]
+		if ref.Access.Kind == Read {
+			c.Reads += ref.Executions()
+		} else {
+			c.Writes += ref.Executions()
+		}
+		counts[ref.Access.Array.Name] = c
+	}
+	return counts
+}
+
+// TotalAccesses returns the total number of array accesses executed.
+func (p *Program) TotalAccesses() int64 {
+	var total int64
+	for _, c := range p.AccessCounts() {
+		total += c.Total()
+	}
+	return total
+}

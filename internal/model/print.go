@@ -1,0 +1,113 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the program as readable pseudo-code, e.g.
+//
+//	program motion-estimation
+//	  array cur[144][176] x1B (input)
+//	  block match:
+//	    for by in 0..8 {
+//	      load ref[16*by + wy][...]
+//	      ...
+//	    }
+func (p *Program) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "program %s\n", p.Name)
+	for _, a := range p.Arrays {
+		fmt.Fprintf(&sb, "  array %s%s x%dB%s\n", a.Name, dimString(a.Dims), a.ElemSize, arrayFlags(a))
+	}
+	for _, b := range p.Blocks {
+		fmt.Fprintf(&sb, "  block %s:\n", b.Name)
+		printNodes(&sb, b.Body, "    ")
+	}
+	return sb.String()
+}
+
+func dimString(dims []int) string {
+	var sb strings.Builder
+	for _, d := range dims {
+		fmt.Fprintf(&sb, "[%d]", d)
+	}
+	return sb.String()
+}
+
+func arrayFlags(a *Array) string {
+	switch {
+	case a.Input && a.Output:
+		return " (input,output)"
+	case a.Input:
+		return " (input)"
+	case a.Output:
+		return " (output)"
+	default:
+		return ""
+	}
+}
+
+func printNodes(sb *strings.Builder, nodes []Node, indent string) {
+	for _, n := range nodes {
+		switch n := n.(type) {
+		case *Loop:
+			fmt.Fprintf(sb, "%sfor %s in 0..%d {\n", indent, n.Var, n.Trip-1)
+			printNodes(sb, n.Body, indent+"  ")
+			fmt.Fprintf(sb, "%s}\n", indent)
+		case *Access:
+			var idx strings.Builder
+			for _, e := range n.Index {
+				fmt.Fprintf(&idx, "[%s]", e)
+			}
+			verb := "load"
+			if n.Kind == Write {
+				verb = "store"
+			}
+			fmt.Fprintf(sb, "%s%s %s%s\n", indent, verb, n.Array.Name, idx.String())
+		case *Compute:
+			fmt.Fprintf(sb, "%scompute %d cycles\n", indent, n.Cycles)
+		}
+	}
+}
+
+// Stats summarises a program for reports.
+type Stats struct {
+	Arrays        int
+	ArrayBytes    int64
+	Blocks        int
+	Loops         int
+	MaxDepth      int
+	Accesses      int   // static access sites
+	AccessesExec  int64 // dynamic accesses executed
+	ComputeCycles int64
+}
+
+// Stats computes summary statistics of the program.
+func (p *Program) Stats() Stats {
+	s := Stats{Arrays: len(p.Arrays), Blocks: len(p.Blocks)}
+	for _, a := range p.Arrays {
+		s.ArrayBytes += a.Bytes()
+	}
+	var walk func(nodes []Node, depth int, mult int64)
+	walk = func(nodes []Node, depth int, mult int64) {
+		if depth > s.MaxDepth {
+			s.MaxDepth = depth
+		}
+		for _, n := range nodes {
+			switch n := n.(type) {
+			case *Loop:
+				s.Loops++
+				walk(n.Body, depth+1, mult*int64(n.Trip))
+			case *Access:
+				s.Accesses++
+				s.AccessesExec += mult
+			}
+		}
+	}
+	for _, b := range p.Blocks {
+		walk(b.Body, 0, 1)
+	}
+	s.ComputeCycles = p.ComputeCycles()
+	return s
+}

@@ -1,0 +1,148 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Validate checks the structural and semantic well-formedness of the
+// program:
+//
+//   - unique, non-empty array names; positive dimensions and element
+//     sizes
+//   - loop trip counts >= 1 and iterator names that do not shadow an
+//     enclosing iterator
+//   - access index arity matching the array rank
+//   - index expressions referring only to in-scope iterators
+//   - every access staying within the array bounds over the whole
+//     iteration domain
+//   - every referenced array registered with the program
+//
+// The reuse analysis and the simulators rely on these invariants, so
+// all entry points of internal/core validate first.
+func (p *Program) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("model: program has no name")
+	}
+	if len(p.Blocks) == 0 {
+		return fmt.Errorf("model: program %q has no blocks", p.Name)
+	}
+	registered := make(map[*Array]bool, len(p.Arrays))
+	names := make(map[string]bool, len(p.Arrays))
+	for _, a := range p.Arrays {
+		if a.Name == "" {
+			return fmt.Errorf("model: program %q contains an unnamed array", p.Name)
+		}
+		if names[a.Name] {
+			return fmt.Errorf("model: duplicate array name %q", a.Name)
+		}
+		names[a.Name] = true
+		if len(a.Dims) == 0 {
+			return fmt.Errorf("model: array %q has no dimensions", a.Name)
+		}
+		for i, d := range a.Dims {
+			if d <= 0 {
+				return fmt.Errorf("model: array %q dimension %d has extent %d", a.Name, i, d)
+			}
+		}
+		if a.ElemSize <= 0 {
+			return fmt.Errorf("model: array %q has element size %d", a.Name, a.ElemSize)
+		}
+		registered[a] = true
+	}
+	blockNames := make(map[string]bool, len(p.Blocks))
+	for bi, b := range p.Blocks {
+		if b.Name == "" {
+			return fmt.Errorf("model: block %d has no name", bi)
+		}
+		if blockNames[b.Name] {
+			return fmt.Errorf("model: duplicate block name %q", b.Name)
+		}
+		blockNames[b.Name] = true
+		if err := validateNodes(b.Body, b.Name, map[string]int{}, registered); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func validateNodes(nodes []Node, block string, trips map[string]int, registered map[*Array]bool) error {
+	for _, n := range nodes {
+		switch n := n.(type) {
+		case *Loop:
+			if n.Var == "" {
+				return fmt.Errorf("model: block %q: loop with empty iterator name", block)
+			}
+			if _, exists := trips[n.Var]; exists {
+				return fmt.Errorf("model: block %q: iterator %q shadows an enclosing iterator", block, n.Var)
+			}
+			if n.Trip < 1 {
+				return fmt.Errorf("model: block %q: loop %q has trip count %d", block, n.Var, n.Trip)
+			}
+			trips[n.Var] = n.Trip
+			if err := validateNodes(n.Body, block, trips, registered); err != nil {
+				return err
+			}
+			delete(trips, n.Var)
+		case *Access:
+			if err := validateAccess(n, block, trips, registered); err != nil {
+				return err
+			}
+		case *Compute:
+			if n.Cycles < 0 {
+				return fmt.Errorf("model: block %q: compute node with negative cycles %d", block, n.Cycles)
+			}
+		case nil:
+			return fmt.Errorf("model: block %q: nil node", block)
+		default:
+			return fmt.Errorf("model: block %q: unknown node type %T", block, n)
+		}
+	}
+	return nil
+}
+
+func validateAccess(acc *Access, block string, trips map[string]int, registered map[*Array]bool) error {
+	if acc.Array == nil {
+		return fmt.Errorf("model: block %q: access with nil array", block)
+	}
+	if !registered[acc.Array] {
+		return fmt.Errorf("model: block %q: access to unregistered array %q", block, acc.Array.Name)
+	}
+	if len(acc.Index) != acc.Array.Rank() {
+		return fmt.Errorf("model: block %q: access to %q has %d index expressions, array rank is %d",
+			block, acc.Array.Name, len(acc.Index), acc.Array.Rank())
+	}
+	for d, e := range acc.Index {
+		for _, v := range e.Vars() {
+			if _, ok := trips[v]; !ok {
+				return fmt.Errorf("model: block %q: access to %q dimension %d uses out-of-scope iterator %q",
+					block, acc.Array.Name, d, v)
+			}
+		}
+		min, max := e.Range(trips)
+		if min < 0 || max >= acc.Array.Dims[d] {
+			return fmt.Errorf("model: block %q: access %s to %q dimension %d ranges [%d,%d], bounds are [0,%d)",
+				block, e, acc.Array.Name, d, min, max, acc.Array.Dims[d])
+		}
+	}
+	return nil
+}
+
+// UnusedArrays returns the names of registered arrays that no access
+// references, sorted. A non-empty result usually indicates a modelling
+// mistake; Validate does not treat it as an error because partially
+// built programs are legitimate during construction.
+func (p *Program) UnusedArrays() []string {
+	used := make(map[string]bool)
+	for _, ref := range p.Accesses() {
+		used[ref.Access.Array.Name] = true
+	}
+	var unused []string
+	for _, a := range p.Arrays {
+		if !used[a.Name] {
+			unused = append(unused, a.Name)
+		}
+	}
+	sort.Strings(unused)
+	return unused
+}

@@ -1,0 +1,157 @@
+package multitask
+
+import (
+	"strings"
+	"testing"
+
+	"mhla/internal/apps"
+	"mhla/internal/assign"
+)
+
+func testTasks(t *testing.T, names ...string) []Task {
+	t.Helper()
+	var tasks []Task
+	for _, n := range names {
+		app, err := apps.ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tasks = append(tasks, Task{Name: n, Program: app.Build(apps.Test)})
+	}
+	return tasks
+}
+
+func TestPartitionRespectsBudget(t *testing.T) {
+	tasks := testTasks(t, "durbin", "voice", "sobel")
+	plan, err := Partition(tasks, 4096, assign.DefaultOptions())
+	if err != nil {
+		t.Fatalf("Partition: %v", err)
+	}
+	if plan.Used() > plan.Budget {
+		t.Errorf("used %d > budget %d", plan.Used(), plan.Budget)
+	}
+	if len(plan.Allocations) != 3 {
+		t.Fatalf("allocations = %d", len(plan.Allocations))
+	}
+	for _, a := range plan.Allocations {
+		if a.Result == nil {
+			t.Errorf("task %s has no result", a.Task)
+		}
+	}
+}
+
+func TestPartitionMonotoneInBudget(t *testing.T) {
+	// More budget can only help (the smaller grid is a subset).
+	tasks := testTasks(t, "durbin", "voice")
+	var prev float64
+	for i, budget := range []int64{512, 2048, 8192} {
+		plan, err := Partition(tasks, budget, assign.DefaultOptions())
+		if err != nil {
+			t.Fatalf("Partition(%d): %v", budget, err)
+		}
+		if i > 0 && plan.TotalEnergy > prev+1e-9 {
+			t.Errorf("budget %d worsened energy: %v -> %v", budget, prev, plan.TotalEnergy)
+		}
+		prev = plan.TotalEnergy
+	}
+}
+
+func TestPartitionOptimalVsBruteForce(t *testing.T) {
+	// Two tasks, small budget: compare the DP against explicit
+	// enumeration of the same grid.
+	tasks := testTasks(t, "durbin", "voice")
+	opts := assign.DefaultOptions()
+	budget := int64(1024)
+	plan, err := Partition(tasks, budget, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := grid(budget)
+	best := 1e300
+	for _, s0 := range sizes {
+		for _, s1 := range sizes {
+			if s0+s1 > budget {
+				continue
+			}
+			r0, err := taskCost(tasks[0], s0, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r1, err := taskCost(tasks[1], s1, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v := r0.TE.Energy + r1.TE.Energy; v < best {
+				best = v
+			}
+		}
+	}
+	if diff := plan.TotalEnergy - best; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("DP energy %v != brute force %v", plan.TotalEnergy, best)
+	}
+}
+
+func TestPartitionZeroBudget(t *testing.T) {
+	tasks := testTasks(t, "durbin")
+	plan, err := Partition(tasks, 0, assign.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Allocations[0].L1 != 0 {
+		t.Errorf("allocated %d bytes from a zero budget", plan.Allocations[0].L1)
+	}
+	// Out-of-the-box point: MHLA == original.
+	r := plan.Allocations[0].Result
+	if r.TE.Cycles != r.Original.Cycles {
+		t.Error("zero-partition task not at the original point")
+	}
+}
+
+func TestPartitionSkewsTowardHungrierTask(t *testing.T) {
+	// durbin gains little beyond its small working set; sobel keeps
+	// gaining with a bigger line buffer — the split must not starve
+	// whichever profits more.
+	tasks := testTasks(t, "durbin", "sobel")
+	plan, err := Partition(tasks, 2048, assign.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]int64{}
+	for _, a := range plan.Allocations {
+		byName[a.Task] = a.L1
+	}
+	if byName["durbin"]+byName["sobel"] == 0 {
+		t.Error("nothing allocated at all")
+	}
+	t.Logf("split: durbin=%d sobel=%d total energy %.0f",
+		byName["durbin"], byName["sobel"], plan.TotalEnergy)
+}
+
+func TestPartitionErrors(t *testing.T) {
+	if _, err := Partition(nil, 1024, assign.DefaultOptions()); err == nil {
+		t.Error("accepted empty task list")
+	}
+	tasks := testTasks(t, "durbin")
+	if _, err := Partition(tasks, -1, assign.DefaultOptions()); err == nil {
+		t.Error("accepted negative budget")
+	}
+	dup := append(tasks, tasks[0])
+	if _, err := Partition(dup, 1024, assign.DefaultOptions()); err == nil ||
+		!strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	tasks := testTasks(t, "durbin", "voice")
+	plan, err := Partition(tasks, 2048, assign.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := plan.String()
+	for _, want := range []string{"multi-task partition", "durbin", "voice", "total:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package platform
+
+import "testing"
+
+// dmaPlat returns a platform whose DMA has a minimum transfer size
+// and whose CPU copies carry control overhead.
+func dmaPlat() *Platform {
+	p := testPlatform()
+	p.DMA.MinBytes = 16
+	p.SoftCopyCycles = 6
+	p.SoftCopyPJ = 4
+	return p
+}
+
+func TestUsesDMA(t *testing.T) {
+	p := dmaPlat()
+	cases := []struct {
+		bytes int64
+		want  bool
+	}{
+		{1, false}, {15, false}, {16, true}, {1000, true},
+	}
+	for _, c := range cases {
+		if got := p.UsesDMA(c.bytes); got != c.want {
+			t.Errorf("UsesDMA(%d) = %v, want %v", c.bytes, got, c.want)
+		}
+	}
+	p.DMA = nil
+	if p.UsesDMA(1000) {
+		t.Error("UsesDMA without engine")
+	}
+}
+
+func TestSmallTransferIsSoftwareCopy(t *testing.T) {
+	p := dmaPlat()
+	// 8 bytes < MinBytes: CPU copies word by word with control
+	// overhead: 6 + 4 reads * 18 + 4 writes * 1.
+	got := p.TransferCycles(1, 0, 8)
+	want := int64(6 + 4*18 + 4*1)
+	if got != want {
+		t.Errorf("TransferCycles(8B) = %d, want %d", got, want)
+	}
+	// Energy: 4 words at each end plus the software overhead, no DMA
+	// control energy.
+	e := p.TransferEnergy(1, 0, 8)
+	wantE := 4*50.0 + 4*1.1 + 4.0
+	if diff := e - wantE; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("TransferEnergy(8B) = %v, want %v", e, wantE)
+	}
+}
+
+func TestLargeTransferUsesDMA(t *testing.T) {
+	p := dmaPlat()
+	// 16 bytes >= MinBytes: setup + burst.
+	got := p.TransferCycles(1, 0, 16)
+	want := int64(20 + 4)
+	if got != want {
+		t.Errorf("TransferCycles(16B) = %d, want %d", got, want)
+	}
+	e := p.TransferEnergy(1, 0, 16)
+	wantE := 8*50.0 + 8*1.1 + 25.0
+	if diff := e - wantE; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("TransferEnergy(16B) = %v, want %v", e, wantE)
+	}
+}
+
+func TestSoftCopyOverheadValidated(t *testing.T) {
+	p := dmaPlat()
+	p.SoftCopyCycles = -1
+	if err := p.Validate(); err == nil {
+		t.Error("Validate accepted negative software-copy cycles")
+	}
+	p = dmaPlat()
+	p.SoftCopyPJ = -1
+	if err := p.Validate(); err == nil {
+		t.Error("Validate accepted negative software-copy energy")
+	}
+	p = dmaPlat()
+	p.DMA.MinBytes = -1
+	if err := p.Validate(); err == nil {
+		t.Error("Validate accepted negative DMA minimum size")
+	}
+}
+
+func TestTransferMonotoneInBytes(t *testing.T) {
+	// Crossing the DMA threshold must not make a bigger transfer
+	// cheaper in energy (cycles may drop — that is the point of the
+	// engine).
+	p := dmaPlat()
+	prevE := 0.0
+	for bytes := int64(1); bytes <= 64; bytes++ {
+		e := p.TransferEnergy(1, 0, bytes)
+		if e < prevE-25 { // allow the one-time DMA-control step
+			t.Errorf("energy dropped sharply at %dB: %v -> %v", bytes, prevE, e)
+		}
+		prevE = e
+	}
+}

@@ -1,0 +1,213 @@
+// Package platform describes the target memory architecture of the
+// MHLA exploration: an ordered multi-layer memory hierarchy plus an
+// optional DMA/block-transfer engine.
+//
+// Layer 0 is the layer closest to the processor (typically a small
+// scratchpad SRAM); the last layer is the background memory (typically
+// off-chip SDRAM) and is the only layer with unbounded capacity. All
+// energies are in picojoules per word access, all latencies in
+// processor cycles, all bandwidths in bytes per processor cycle.
+package platform
+
+import "fmt"
+
+// Layer is one level of the memory hierarchy.
+type Layer struct {
+	// Name labels the layer in reports ("L1", "SDRAM", ...).
+	Name string
+	// Capacity is the usable size in bytes; 0 means unbounded and is
+	// only legal for the background (last) layer.
+	Capacity int64
+	// WordBytes is the access word width in bytes; every CPU access
+	// and every transferred word is charged at this granularity.
+	WordBytes int
+	// EnergyRead and EnergyWrite are the energy per word access in pJ.
+	EnergyRead  float64
+	EnergyWrite float64
+	// LatencyRead and LatencyWrite are the processor stall cycles for
+	// one random word access.
+	LatencyRead  int
+	LatencyWrite int
+	// BurstBytesPerCycle is the sustained sequential (burst) bandwidth
+	// available to block transfers.
+	BurstBytesPerCycle int
+	// OffChip marks layers that are outside the chip; the paper's
+	// on-chip size constraint applies to the non-OffChip layers.
+	OffChip bool
+}
+
+// Words returns the number of word accesses needed to move the given
+// number of bytes through this layer.
+func (l *Layer) Words(bytes int64) int64 {
+	w := int64(l.WordBytes)
+	return (bytes + w - 1) / w
+}
+
+// DMA describes the memory transfer engine (data mover) that performs
+// block transfers concurrently with CPU execution. Time extensions
+// require a DMA engine; without one (nil) the TE step is skipped, as
+// stated in the paper.
+type DMA struct {
+	// SetupCycles is the fixed per-transfer initiation cost.
+	SetupCycles int
+	// Channels is the number of transfers that can be in flight
+	// simultaneously; additional transfers queue by priority.
+	Channels int
+	// EnergyPerTransfer is the fixed control energy per block
+	// transfer in pJ (the word energies at both end layers are
+	// charged separately).
+	EnergyPerTransfer float64
+	// MinBytes is the smallest transfer worth programming a DMA
+	// channel for. Smaller copy updates are performed by the CPU as
+	// ordinary loads and stores (they pay word latencies instead of
+	// setup+burst, carry no per-transfer control energy, and are not
+	// eligible for time extensions — the paper's is_DMA(BT) test).
+	MinBytes int
+}
+
+// Platform is a complete architecture description.
+type Platform struct {
+	// Name labels the platform.
+	Name string
+	// Layers is ordered from closest-to-CPU (index 0) to background
+	// memory (last index).
+	Layers []Layer
+	// DMA is the block-transfer engine, or nil if the architecture
+	// has none.
+	DMA *DMA
+	// SoftCopyCycles and SoftCopyPJ are the per-update control
+	// overhead (loop, address generation, branch instructions) of a
+	// copy update the CPU performs itself instead of the DMA. They
+	// penalize degenerate per-element copy granularities the way real
+	// generated data-transfer code does.
+	SoftCopyCycles int
+	SoftCopyPJ     float64
+}
+
+// Background returns the index of the background memory layer.
+func (p *Platform) Background() int { return len(p.Layers) - 1 }
+
+// OnChipLayers returns the indices of the non-OffChip layers.
+func (p *Platform) OnChipLayers() []int {
+	var idx []int
+	for i := range p.Layers {
+		if !p.Layers[i].OffChip {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// OnChipCapacity returns the total capacity of the on-chip layers.
+func (p *Platform) OnChipCapacity() int64 {
+	var total int64
+	for i := range p.Layers {
+		if !p.Layers[i].OffChip {
+			total += p.Layers[i].Capacity
+		}
+	}
+	return total
+}
+
+// HasDMA reports whether a block-transfer engine is available.
+func (p *Platform) HasDMA() bool { return p.DMA != nil }
+
+// Validate checks the architectural invariants the tool flow relies
+// on: at least two layers, exactly one unbounded background layer (the
+// last, off-chip), positive word widths and bandwidths, and cost
+// monotonicity (moving away from the CPU never gets cheaper or
+// faster).
+func (p *Platform) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("platform: no name")
+	}
+	if len(p.Layers) < 2 {
+		return fmt.Errorf("platform %q: need at least 2 layers, have %d", p.Name, len(p.Layers))
+	}
+	for i := range p.Layers {
+		l := &p.Layers[i]
+		if l.Name == "" {
+			return fmt.Errorf("platform %q: layer %d has no name", p.Name, i)
+		}
+		last := i == len(p.Layers)-1
+		if last {
+			if l.Capacity != 0 {
+				return fmt.Errorf("platform %q: background layer %q must have unbounded capacity (0), has %d",
+					p.Name, l.Name, l.Capacity)
+			}
+			if !l.OffChip {
+				return fmt.Errorf("platform %q: background layer %q must be off-chip", p.Name, l.Name)
+			}
+		} else if l.Capacity <= 0 {
+			return fmt.Errorf("platform %q: layer %q has capacity %d", p.Name, l.Name, l.Capacity)
+		}
+		if l.WordBytes <= 0 {
+			return fmt.Errorf("platform %q: layer %q has word width %d", p.Name, l.Name, l.WordBytes)
+		}
+		if l.BurstBytesPerCycle <= 0 {
+			return fmt.Errorf("platform %q: layer %q has burst bandwidth %d", p.Name, l.Name, l.BurstBytesPerCycle)
+		}
+		if l.EnergyRead < 0 || l.EnergyWrite < 0 {
+			return fmt.Errorf("platform %q: layer %q has negative energy", p.Name, l.Name)
+		}
+		if l.LatencyRead < 1 || l.LatencyWrite < 1 {
+			return fmt.Errorf("platform %q: layer %q has latency < 1 cycle", p.Name, l.Name)
+		}
+	}
+	for i := 1; i < len(p.Layers); i++ {
+		lo, hi := &p.Layers[i-1], &p.Layers[i]
+		if hi.Capacity != 0 && hi.Capacity < lo.Capacity {
+			return fmt.Errorf("platform %q: layer %q smaller than closer layer %q", p.Name, hi.Name, lo.Name)
+		}
+		if hi.EnergyRead < lo.EnergyRead || hi.EnergyWrite < lo.EnergyWrite {
+			return fmt.Errorf("platform %q: layer %q cheaper than closer layer %q", p.Name, hi.Name, lo.Name)
+		}
+		if hi.LatencyRead < lo.LatencyRead || hi.LatencyWrite < lo.LatencyWrite {
+			return fmt.Errorf("platform %q: layer %q faster than closer layer %q", p.Name, hi.Name, lo.Name)
+		}
+		if lo.OffChip && !hi.OffChip {
+			return fmt.Errorf("platform %q: on-chip layer %q behind off-chip layer %q", p.Name, hi.Name, lo.Name)
+		}
+	}
+	if p.SoftCopyCycles < 0 || p.SoftCopyPJ < 0 {
+		return fmt.Errorf("platform %q: negative software-copy overhead", p.Name)
+	}
+	if p.DMA != nil {
+		if p.DMA.SetupCycles < 0 {
+			return fmt.Errorf("platform %q: DMA setup cycles %d", p.Name, p.DMA.SetupCycles)
+		}
+		if p.DMA.Channels < 1 {
+			return fmt.Errorf("platform %q: DMA channels %d", p.Name, p.DMA.Channels)
+		}
+		if p.DMA.EnergyPerTransfer < 0 {
+			return fmt.Errorf("platform %q: negative DMA transfer energy", p.Name)
+		}
+		if p.DMA.MinBytes < 0 {
+			return fmt.Errorf("platform %q: negative DMA minimum transfer size", p.Name)
+		}
+	}
+	return nil
+}
+
+// String gives a one-line-per-layer description.
+func (p *Platform) String() string {
+	s := fmt.Sprintf("platform %s\n", p.Name)
+	for i := range p.Layers {
+		l := &p.Layers[i]
+		cap := "unbounded"
+		if l.Capacity > 0 {
+			cap = fmt.Sprintf("%dB", l.Capacity)
+		}
+		place := "on-chip"
+		if l.OffChip {
+			place = "off-chip"
+		}
+		s += fmt.Sprintf("  L%d %-8s %9s %s  E=%.1f/%.1fpJ  lat=%d/%d  burst=%dB/cy\n",
+			i, l.Name, cap, place, l.EnergyRead, l.EnergyWrite, l.LatencyRead, l.LatencyWrite, l.BurstBytesPerCycle)
+	}
+	if p.DMA != nil {
+		s += fmt.Sprintf("  DMA setup=%dcy channels=%d E=%.1fpJ/BT\n",
+			p.DMA.SetupCycles, p.DMA.Channels, p.DMA.EnergyPerTransfer)
+	}
+	return s
+}

@@ -1,0 +1,184 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+)
+
+// testPlatform builds a valid two-level platform by hand (tests in
+// this package must not depend on internal/energy).
+func testPlatform() *Platform {
+	return &Platform{
+		Name: "test",
+		Layers: []Layer{
+			{Name: "L1", Capacity: 2048, WordBytes: 2, EnergyRead: 1, EnergyWrite: 1.1,
+				LatencyRead: 1, LatencyWrite: 1, BurstBytesPerCycle: 8},
+			{Name: "DRAM", Capacity: 0, WordBytes: 2, EnergyRead: 50, EnergyWrite: 52,
+				LatencyRead: 18, LatencyWrite: 18, BurstBytesPerCycle: 4, OffChip: true},
+		},
+		DMA: &DMA{SetupCycles: 20, Channels: 2, EnergyPerTransfer: 25},
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	if err := testPlatform().Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestBackgroundAndOnChip(t *testing.T) {
+	p := testPlatform()
+	if got := p.Background(); got != 1 {
+		t.Errorf("Background = %d, want 1", got)
+	}
+	oc := p.OnChipLayers()
+	if len(oc) != 1 || oc[0] != 0 {
+		t.Errorf("OnChipLayers = %v, want [0]", oc)
+	}
+	if got := p.OnChipCapacity(); got != 2048 {
+		t.Errorf("OnChipCapacity = %d, want 2048", got)
+	}
+	if !p.HasDMA() {
+		t.Error("HasDMA = false")
+	}
+}
+
+func TestLayerWords(t *testing.T) {
+	l := Layer{WordBytes: 4}
+	cases := []struct{ bytes, want int64 }{
+		{0, 0}, {1, 1}, {4, 1}, {5, 2}, {8, 2}, {9, 3},
+	}
+	for _, c := range cases {
+		if got := l.Words(c.bytes); got != c.want {
+			t.Errorf("Words(%d) = %d, want %d", c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Platform)
+		want   string
+	}{
+		{"no name", func(p *Platform) { p.Name = "" }, "no name"},
+		{"one layer", func(p *Platform) { p.Layers = p.Layers[1:] }, "at least 2"},
+		{"bounded background", func(p *Platform) { p.Layers[1].Capacity = 4096 }, "unbounded"},
+		{"on-chip background", func(p *Platform) { p.Layers[1].OffChip = false }, "off-chip"},
+		{"zero capacity L1", func(p *Platform) { p.Layers[0].Capacity = 0 }, "capacity 0"},
+		{"zero word bytes", func(p *Platform) { p.Layers[0].WordBytes = 0 }, "word width"},
+		{"zero burst", func(p *Platform) { p.Layers[1].BurstBytesPerCycle = 0 }, "burst bandwidth"},
+		{"negative energy", func(p *Platform) { p.Layers[0].EnergyRead = -1 }, "negative energy"},
+		{"zero latency", func(p *Platform) { p.Layers[0].LatencyRead = 0 }, "latency"},
+		{"cheaper far layer", func(p *Platform) { p.Layers[1].EnergyRead = 0.1 }, "cheaper"},
+		{"faster far layer", func(p *Platform) { p.Layers[1].LatencyRead = 0; p.Layers[1].LatencyWrite = 0 }, "latency"},
+		{"unnamed layer", func(p *Platform) { p.Layers[0].Name = "" }, "layer 0 has no name"},
+		{"dma zero channels", func(p *Platform) { p.DMA.Channels = 0 }, "channels"},
+		{"dma negative setup", func(p *Platform) { p.DMA.SetupCycles = -1 }, "setup"},
+		{"dma negative energy", func(p *Platform) { p.DMA.EnergyPerTransfer = -1 }, "DMA transfer energy"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := testPlatform()
+			c.mutate(p)
+			err := p.Validate()
+			if err == nil {
+				t.Fatal("Validate accepted a broken platform")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestValidateOrderingOnChipBehindOffChip(t *testing.T) {
+	p := &Platform{
+		Name: "bad",
+		Layers: []Layer{
+			{Name: "far", Capacity: 1024, WordBytes: 2, EnergyRead: 1, EnergyWrite: 1,
+				LatencyRead: 1, LatencyWrite: 1, BurstBytesPerCycle: 4, OffChip: true},
+			{Name: "near", Capacity: 2048, WordBytes: 2, EnergyRead: 2, EnergyWrite: 2,
+				LatencyRead: 2, LatencyWrite: 2, BurstBytesPerCycle: 4, OffChip: false},
+			{Name: "bg", Capacity: 0, WordBytes: 2, EnergyRead: 3, EnergyWrite: 3,
+				LatencyRead: 3, LatencyWrite: 3, BurstBytesPerCycle: 4, OffChip: true},
+		},
+	}
+	err := p.Validate()
+	if err == nil || !strings.Contains(err.Error(), "behind off-chip") {
+		t.Errorf("Validate = %v, want on-chip-behind-off-chip error", err)
+	}
+}
+
+func TestAccessCosts(t *testing.T) {
+	p := testPlatform()
+	if got := p.AccessEnergy(0, false); got != 1 {
+		t.Errorf("AccessEnergy(L1,read) = %v", got)
+	}
+	if got := p.AccessEnergy(1, true); got != 52 {
+		t.Errorf("AccessEnergy(DRAM,write) = %v", got)
+	}
+	if got := p.AccessCycles(0, false); got != 1 {
+		t.Errorf("AccessCycles(L1,read) = %v", got)
+	}
+	if got := p.AccessCycles(1, true); got != 18 {
+		t.Errorf("AccessCycles(DRAM,write) = %v", got)
+	}
+}
+
+func TestTransferCyclesWithDMA(t *testing.T) {
+	p := testPlatform()
+	// 1000 bytes DRAM->L1: bottleneck burst = 4 B/cy, setup 20.
+	got := p.TransferCycles(1, 0, 1000)
+	want := int64(20 + 250)
+	if got != want {
+		t.Errorf("TransferCycles = %d, want %d", got, want)
+	}
+	if got := p.TransferCycles(1, 0, 0); got != 0 {
+		t.Errorf("zero-byte transfer = %d, want 0", got)
+	}
+	// Rounding up.
+	if got := p.TransferCycles(1, 0, 1); got != 21 {
+		t.Errorf("1-byte transfer = %d, want 21", got)
+	}
+}
+
+func TestTransferCyclesWithoutDMA(t *testing.T) {
+	p := testPlatform()
+	p.DMA = nil
+	// CPU copies word by word: 500 reads * 18 + 500 writes * 1.
+	got := p.TransferCycles(1, 0, 1000)
+	want := int64(500*18 + 500*1)
+	if got != want {
+		t.Errorf("TransferCycles = %d, want %d", got, want)
+	}
+}
+
+func TestTransferEnergy(t *testing.T) {
+	p := testPlatform()
+	// 100 bytes DRAM->L1 = 50 words read at 50pJ + 50 words written at
+	// 1.1pJ + 25pJ DMA control.
+	got := p.TransferEnergy(1, 0, 100)
+	want := 50*50.0 + 50*1.1 + 25
+	if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("TransferEnergy = %v, want %v", got, want)
+	}
+	if got := p.TransferEnergy(0, 1, 0); got != 0 {
+		t.Errorf("zero-byte energy = %v, want 0", got)
+	}
+	p.DMA = nil
+	got = p.TransferEnergy(1, 0, 100)
+	want = 50*50.0 + 50*1.1
+	if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("TransferEnergy no DMA = %v, want %v", got, want)
+	}
+}
+
+func TestStringContainsLayers(t *testing.T) {
+	s := testPlatform().String()
+	for _, want := range []string{"platform test", "L1", "DRAM", "unbounded", "DMA setup=20cy"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}

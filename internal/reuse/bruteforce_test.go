@@ -1,0 +1,336 @@
+package reuse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mhla/internal/model"
+)
+
+// box is an integer hyper-rectangle [Lo[d], Hi[d]] inclusive.
+type box struct{ lo, hi []int }
+
+func (b box) volume() int64 {
+	v := int64(1)
+	for d := range b.lo {
+		v *= int64(b.hi[d] - b.lo[d] + 1)
+	}
+	return v
+}
+
+func (b box) intersectVolume(o box) int64 {
+	v := int64(1)
+	for d := range b.lo {
+		lo, hi := b.lo[d], b.hi[d]
+		if o.lo[d] > lo {
+			lo = o.lo[d]
+		}
+		if o.hi[d] < hi {
+			hi = o.hi[d]
+		}
+		if hi < lo {
+			return 0
+		}
+		v *= int64(hi - lo + 1)
+	}
+	return v
+}
+
+// chainBox computes the bounding box of a chain's access group for a
+// fixed prefix env, with loops inner (k..n-1) sweeping their ranges.
+func chainBox(ch *Chain, k int, env map[string]int) box {
+	rank := ch.Array.Rank()
+	b := box{lo: make([]int, rank), hi: make([]int, rank)}
+	for d := 0; d < rank; d++ {
+		first := true
+		for _, ref := range ch.Accesses {
+			e := ref.Access.Index[d]
+			lo, hi := e.Const, e.Const
+			for _, t := range e.Terms {
+				fixed := false
+				for j := 0; j < k; j++ {
+					if ch.Nest[j].Var == t.Var {
+						lo += t.Coef * env[t.Var]
+						hi += t.Coef * env[t.Var]
+						fixed = true
+						break
+					}
+				}
+				if fixed {
+					continue
+				}
+				// Inner loop: sweeps 0..T-1.
+				var trip int
+				for j := k; j < len(ch.Nest); j++ {
+					if ch.Nest[j].Var == t.Var {
+						trip = ch.Nest[j].Trip
+						break
+					}
+				}
+				span := t.Coef * (trip - 1)
+				if span >= 0 {
+					hi += span
+				} else {
+					lo += span
+				}
+			}
+			if first || lo < b.lo[d] {
+				b.lo[d] = lo
+			}
+			if first || hi > b.hi[d] {
+				b.hi[d] = hi
+			}
+			first = false
+		}
+	}
+	return b
+}
+
+// bruteForceSlide walks every update point of candidate level k in
+// lexicographic order, computing the exact new-box volume per step.
+// It returns the total and the per-class totals keyed by incrementing
+// loop index (-1 = fill).
+func bruteForceSlide(ch *Chain, k int) (total int64, perClass map[int]int64) {
+	perClass = map[int]int64{}
+	idx := make([]int, k)
+	env := map[string]int{}
+	var prev *box
+	for {
+		for j := 0; j < k; j++ {
+			env[ch.Nest[j].Var] = idx[j]
+		}
+		b := chainBox(ch, k, env)
+		var fresh int64
+		var class int
+		if prev == nil {
+			fresh = b.volume()
+			class = -1
+		} else {
+			fresh = b.volume() - b.intersectVolume(*prev)
+			// The class is the outermost loop that changed.
+			class = 0
+			for j := 0; j < k; j++ {
+				if idx[j] != prevIdx[j] {
+					class = j
+					break
+				}
+			}
+		}
+		total += fresh
+		perClass[class] += fresh
+		prevBox := b
+		prev = &prevBox
+		copy(prevIdx, idx)
+		// Lexicographic increment.
+		j := k - 1
+		for ; j >= 0; j-- {
+			idx[j]++
+			if idx[j] < ch.Nest[j].Trip {
+				break
+			}
+			idx[j] = 0
+		}
+		if j < 0 {
+			return total, perClass
+		}
+	}
+}
+
+var prevIdx = make([]int, 16)
+
+func TestBruteForceME(t *testing.T) {
+	an, _ := Analyze(buildME())
+	ch := an.Chains[0]
+	for k := 0; k <= ch.Depth(); k++ {
+		want, _ := bruteForceSlide(ch, k)
+		got := ch.Candidate(k).TotalElems(Slide)
+		if got != want {
+			t.Errorf("level %d: closed form = %d, brute force = %d", k, got, want)
+		}
+	}
+}
+
+// randomProgram builds a random single-block single-array program with
+// in-bounds affine accesses, returning it for cross-validation. All
+// accesses share a coefficient signature so they form one chain.
+func randomProgram(r *rand.Rand) *model.Program {
+	depth := 1 + r.Intn(3)
+	rank := 1 + r.Intn(2)
+	vars := []string{"i", "j", "k"}[:depth]
+	trips := make([]int, depth)
+	for d := range trips {
+		trips[d] = 1 + r.Intn(4)
+	}
+	// Shared coefficients per (dim, loop).
+	coefs := make([][]int, rank)
+	for d := 0; d < rank; d++ {
+		coefs[d] = make([]int, depth)
+		for j := range coefs[d] {
+			coefs[d][j] = r.Intn(5) - 2
+		}
+	}
+	nacc := 1 + r.Intn(2)
+	consts := make([][]int, nacc)
+	for a := range consts {
+		consts[a] = make([]int, rank)
+		for d := range consts[a] {
+			consts[a][d] = r.Intn(3)
+		}
+	}
+	// Compute bounds to size the array and shift offsets in-bounds.
+	dims := make([]int, rank)
+	shift := make([]int, rank)
+	for d := 0; d < rank; d++ {
+		lo, hi := 1<<30, -(1 << 30)
+		for a := 0; a < nacc; a++ {
+			l, h := consts[a][d], consts[a][d]
+			for j := 0; j < depth; j++ {
+				span := coefs[d][j] * (trips[j] - 1)
+				if span >= 0 {
+					h += span
+				} else {
+					l += span
+				}
+			}
+			if l < lo {
+				lo = l
+			}
+			if h > hi {
+				hi = h
+			}
+		}
+		shift[d] = -lo
+		dims[d] = hi - lo + 1
+	}
+	p := model.NewProgram("rand")
+	arr := p.NewInput("a", 1, dims...)
+	body := make([]model.Node, 0, nacc)
+	for a := 0; a < nacc; a++ {
+		idx := make([]model.Expr, rank)
+		for d := 0; d < rank; d++ {
+			terms := make([]model.Term, 0, depth)
+			for j := 0; j < depth; j++ {
+				terms = append(terms, model.Term{Var: vars[j], Coef: coefs[d][j]})
+			}
+			idx[d] = model.Affine(consts[a][d]+shift[d], terms...)
+		}
+		body = append(body, model.Load(arr, idx...))
+	}
+	var node model.Node = &model.Loop{Var: vars[depth-1], Trip: trips[depth-1], Body: body}
+	for j := depth - 2; j >= 0; j-- {
+		node = &model.Loop{Var: vars[j], Trip: trips[j], Body: []model.Node{node}}
+	}
+	p.AddBlock("b", node)
+	return p
+}
+
+func TestQuickSlideVolumeMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomProgram(r)
+		an, err := Analyze(p)
+		if err != nil {
+			t.Logf("Analyze: %v\n%s", err, p)
+			return false
+		}
+		for _, ch := range an.Chains {
+			for k := 0; k <= ch.Depth(); k++ {
+				want, perClass := bruteForceSlide(ch, k)
+				cand := ch.Candidate(k)
+				if got := cand.TotalElems(Slide); got != want {
+					t.Logf("level %d: closed form %d != brute force %d\n%s", k, got, want, p)
+					return false
+				}
+				// Per-class totals must match too.
+				for _, uc := range cand.Classes {
+					if got := uc.Count * uc.NewElems; got != perClass[uc.LoopIndex] {
+						t.Logf("level %d class %d: %d != %d\n%s", k, uc.LoopIndex, got, perClass[uc.LoopIndex], p)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCandidateInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomProgram(r)
+		an, err := Analyze(p)
+		if err != nil {
+			return false
+		}
+		for _, ch := range an.Chains {
+			for k := 0; k <= ch.Depth(); k++ {
+				c := ch.Candidate(k)
+				// Boxes shrink (weakly) with level; updates grow.
+				if k > 0 {
+					prev := ch.Candidate(k - 1)
+					if c.Elems > prev.Elems {
+						t.Logf("elems grew with level: %d -> %d", prev.Elems, c.Elems)
+						return false
+					}
+					if c.Updates < prev.Updates {
+						t.Logf("updates shrank with level")
+						return false
+					}
+				}
+				// Slide volume bounded by fill below, refetch above.
+				slide, refetch := c.TotalElems(Slide), c.TotalElems(Refetch)
+				if slide < c.Elems || slide > refetch {
+					t.Logf("slide volume %d outside [%d,%d]", slide, c.Elems, refetch)
+					return false
+				}
+				if refetch != c.Updates*c.Elems {
+					return false
+				}
+				// Bytes consistency.
+				if c.Bytes != c.Elems*int64(ch.Array.ElemSize) {
+					return false
+				}
+				if c.TotalBytes(Slide) != slide*int64(ch.Array.ElemSize) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickClassCountsSumToUpdates(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		an, err := Analyze(randomProgram(r))
+		if err != nil {
+			return false
+		}
+		for _, ch := range an.Chains {
+			for k := 0; k <= ch.Depth(); k++ {
+				c := ch.Candidate(k)
+				var n int64
+				for _, uc := range c.Classes {
+					n += uc.Count
+					if uc.NewElems < 0 || uc.NewElems > c.Elems {
+						return false
+					}
+				}
+				if n != c.Updates {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

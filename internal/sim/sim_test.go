@@ -1,0 +1,311 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mhla/internal/assign"
+	"mhla/internal/model"
+	"mhla/internal/platform"
+	"mhla/internal/reuse"
+)
+
+func testPlat() *platform.Platform {
+	return &platform.Platform{
+		Name: "test",
+		Layers: []platform.Layer{
+			{Name: "L1", Capacity: 4096, WordBytes: 2, EnergyRead: 1, EnergyWrite: 1.1,
+				LatencyRead: 1, LatencyWrite: 1, BurstBytesPerCycle: 8},
+			{Name: "SDRAM", Capacity: 0, WordBytes: 2, EnergyRead: 50, EnergyWrite: 52,
+				LatencyRead: 18, LatencyWrite: 18, BurstBytesPerCycle: 4, OffChip: true},
+		},
+		DMA: &platform.DMA{SetupCycles: 20, Channels: 2, EnergyPerTransfer: 25},
+	}
+}
+
+func threePlat() *platform.Platform {
+	return &platform.Platform{
+		Name: "three",
+		Layers: []platform.Layer{
+			{Name: "L1", Capacity: 1024, WordBytes: 2, EnergyRead: 1, EnergyWrite: 1,
+				LatencyRead: 1, LatencyWrite: 1, BurstBytesPerCycle: 8},
+			{Name: "L2", Capacity: 8192, WordBytes: 2, EnergyRead: 4, EnergyWrite: 4,
+				LatencyRead: 2, LatencyWrite: 2, BurstBytesPerCycle: 8},
+			{Name: "SDRAM", Capacity: 0, WordBytes: 2, EnergyRead: 50, EnergyWrite: 52,
+				LatencyRead: 18, LatencyWrite: 18, BurstBytesPerCycle: 4, OffChip: true},
+		},
+		DMA: &platform.DMA{SetupCycles: 20, Channels: 2, EnergyPerTransfer: 25},
+	}
+}
+
+// checkAgainstAnalytic traces the assignment and asserts exact
+// agreement with the closed-form evaluation: per-layer CPU accesses,
+// per-stream transfer volumes and counts, and total energy.
+func checkAgainstAnalytic(t *testing.T, a *assign.Assignment) {
+	t.Helper()
+	res, err := Trace(a, Options{})
+	if err != nil {
+		t.Fatalf("Trace: %v", err)
+	}
+	cost := a.Evaluate(assign.EvalOptions{})
+	for i := range cost.PerLayerAccesses {
+		if res.LayerAccesses[i] != cost.PerLayerAccesses[i] {
+			t.Errorf("layer %d accesses: trace %d, analytic %d",
+				i, res.LayerAccesses[i], cost.PerLayerAccesses[i])
+		}
+	}
+	streams := a.Streams()
+	seen := make(map[assign.StreamKey]bool)
+	for _, st := range streams {
+		seen[st.Key] = true
+		if got := res.TransferBytes[st.Key]; got != st.Count*st.Bytes {
+			t.Errorf("stream %s bytes: trace %d, analytic %d", st.Key, got, st.Count*st.Bytes)
+		}
+		if got := res.TransferCount[st.Key]; got != st.Count {
+			t.Errorf("stream %s count: trace %d, analytic %d", st.Key, got, st.Count)
+		}
+	}
+	for key := range res.TransferBytes {
+		if !seen[key] {
+			t.Errorf("trace observed unknown stream %s", key)
+		}
+	}
+	if diff := res.Energy - cost.Energy; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("energy: trace %v, analytic %v", res.Energy, cost.Energy)
+	}
+}
+
+func meProgram() *model.Program {
+	p := model.NewProgram("me")
+	ref := p.NewInput("ref", 1, 72, 72)
+	p.AddBlock("match",
+		model.For("y", 8, model.For("x", 8, model.For("ky", 16, model.For("kx", 16,
+			model.Load(ref, model.IdxC(8, "y").Plus(model.Idx("ky")), model.IdxC(8, "x").Plus(model.Idx("kx"))),
+			model.Work(1))))))
+	return p
+}
+
+func TestTraceMatchesAnalyticME(t *testing.T) {
+	an, err := reuse.Analyze(meProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, policy := range []reuse.Policy{reuse.Slide, reuse.Refetch} {
+		a := assign.New(an, testPlat(), policy)
+		a.Select(an.Chains[0].ID, 2, 0)
+		checkAgainstAnalytic(t, a)
+	}
+}
+
+func TestTraceMatchesAnalyticMultiLevel(t *testing.T) {
+	an, err := reuse.Analyze(meProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := assign.New(an, threePlat(), reuse.Slide)
+	a.Select(an.Chains[0].ID, 1, 1) // row band at L2
+	a.Select(an.Chains[0].ID, 2, 0) // window at L1
+	checkAgainstAnalytic(t, a)
+}
+
+func TestTraceMatchesAnalyticWriteChain(t *testing.T) {
+	p := model.NewProgram("writer")
+	out := p.NewOutput("out", 2, 64, 64)
+	p.AddBlock("fill",
+		model.For("i", 64, model.For("j", 64,
+			model.Store(out, model.Idx("i"), model.Idx("j")),
+			model.Work(1))))
+	an, err := reuse.Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, policy := range []reuse.Policy{reuse.Slide, reuse.Refetch} {
+		a := assign.New(an, testPlat(), policy)
+		a.Select(an.Chains[0].ID, 1, 0) // one row buffered on-chip
+		checkAgainstAnalytic(t, a)
+	}
+}
+
+func TestTraceMatchesAnalyticReadWrite(t *testing.T) {
+	// In-place update: read and write chains of the same array, both
+	// with row copies.
+	p := model.NewProgram("inplace")
+	img := p.NewInput("img", 2, 32, 32)
+	p.AddBlock("update",
+		model.For("i", 32, model.For("j", 32,
+			model.Load(img, model.Idx("i"), model.Idx("j")),
+			model.Store(img, model.Idx("i"), model.Idx("j")),
+			model.Work(2))))
+	an, err := reuse.Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := assign.New(an, testPlat(), reuse.Slide)
+	for _, ch := range an.Chains {
+		a.Select(ch.ID, 1, 0)
+	}
+	checkAgainstAnalytic(t, a)
+}
+
+func TestTraceMatchesAnalyticMultiBlockAndHomes(t *testing.T) {
+	p := model.NewProgram("phases")
+	in := p.NewInput("in", 2, 128)
+	tmp := p.NewArray("tmp", 2, 128)
+	out := p.NewOutput("out", 2, 128)
+	p.AddBlock("produce",
+		model.For("i", 128, model.Load(in, model.Idx("i")), model.Store(tmp, model.Idx("i")), model.Work(1)))
+	p.AddBlock("consume",
+		model.For("rep", 8, model.For("i", 128,
+			model.Load(tmp, model.Idx("i")), model.Work(2))))
+	p.AddBlock("emit",
+		model.For("i", 128, model.Store(out, model.Idx("i")), model.Work(1)))
+	an, err := reuse.Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := assign.New(an, testPlat(), reuse.Slide)
+	a.SetHome("tmp", 0) // intermediate array fully on-chip
+	for _, ch := range an.Chains {
+		if ch.Array.Name == "in" {
+			a.Select(ch.ID, 1, 0)
+		}
+	}
+	checkAgainstAnalytic(t, a)
+}
+
+func TestTraceBaselineNoCopies(t *testing.T) {
+	an, err := reuse.Analyze(meProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := assign.New(an, testPlat(), reuse.Slide)
+	res, err := Trace(a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LayerAccesses[1] != 8*8*16*16 {
+		t.Errorf("SDRAM accesses = %d, want %d", res.LayerAccesses[1], 8*8*16*16)
+	}
+	if len(res.TransferBytes) != 0 {
+		t.Errorf("baseline has transfers: %v", res.TransferBytes)
+	}
+}
+
+func TestTraceGuardsAgainstHugePrograms(t *testing.T) {
+	an, err := reuse.Analyze(meProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := assign.New(an, testPlat(), reuse.Slide)
+	if _, err := Trace(a, Options{MaxAccesses: 10}); err == nil {
+		t.Fatal("Trace accepted a program over the access limit")
+	}
+}
+
+// randomTraceProgram builds a random in-bounds program plus a random
+// valid selection for cross-validation.
+func randomTraceProgram(r *rand.Rand) (*model.Program, func(an *reuse.Analysis, a *assign.Assignment)) {
+	depth := 1 + r.Intn(3)
+	rank := 1 + r.Intn(2)
+	vars := []string{"i", "j", "k"}[:depth]
+	trips := make([]int, depth)
+	for d := range trips {
+		trips[d] = 1 + r.Intn(4)
+	}
+	coefs := make([][]int, rank)
+	for d := 0; d < rank; d++ {
+		coefs[d] = make([]int, depth)
+		for j := range coefs[d] {
+			coefs[d][j] = r.Intn(5) - 2
+		}
+	}
+	kind := model.Read
+	if r.Intn(3) == 0 {
+		kind = model.Write
+	}
+	dims := make([]int, rank)
+	shift := make([]int, rank)
+	for d := 0; d < rank; d++ {
+		lo, hi := 0, 0
+		for j := 0; j < depth; j++ {
+			span := coefs[d][j] * (trips[j] - 1)
+			if span >= 0 {
+				hi += span
+			} else {
+				lo += span
+			}
+		}
+		shift[d] = -lo
+		dims[d] = hi - lo + 1
+	}
+	p := model.NewProgram("rand")
+	arr := p.NewInput("a", 2, dims...)
+	idx := make([]model.Expr, rank)
+	for d := 0; d < rank; d++ {
+		terms := make([]model.Term, 0, depth)
+		for j := 0; j < depth; j++ {
+			terms = append(terms, model.Term{Var: vars[j], Coef: coefs[d][j]})
+		}
+		idx[d] = model.Affine(shift[d], terms...)
+	}
+	acc := &model.Access{Array: arr, Kind: kind, Index: idx}
+	var node model.Node = &model.Loop{Var: vars[depth-1], Trip: trips[depth-1],
+		Body: []model.Node{acc, model.Work(1)}}
+	for j := depth - 2; j >= 0; j-- {
+		node = &model.Loop{Var: vars[j], Trip: trips[j], Body: []model.Node{node}}
+	}
+	p.AddBlock("b", node)
+
+	level := r.Intn(depth + 1)
+	select_ := func(an *reuse.Analysis, a *assign.Assignment) {
+		a.Select(an.Chains[0].ID, level, 0)
+	}
+	return p, select_
+}
+
+func TestQuickTraceMatchesAnalytic(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p, sel := randomTraceProgram(r)
+		an, err := reuse.Analyze(p)
+		if err != nil {
+			t.Logf("Analyze: %v\n%s", err, p)
+			return false
+		}
+		policy := reuse.Slide
+		if r.Intn(2) == 0 {
+			policy = reuse.Refetch
+		}
+		plat := testPlat()
+		plat.Layers[0].Capacity = 1 << 30 // capacity is not under test here
+		a := assign.New(an, plat, policy)
+		sel(an, a)
+		res, err := Trace(a, Options{})
+		if err != nil {
+			t.Logf("Trace: %v", err)
+			return false
+		}
+		cost := a.Evaluate(assign.EvalOptions{})
+		for i := range cost.PerLayerAccesses {
+			if res.LayerAccesses[i] != cost.PerLayerAccesses[i] {
+				t.Logf("layer %d: %d vs %d\n%s", i, res.LayerAccesses[i], cost.PerLayerAccesses[i], p)
+				return false
+			}
+		}
+		for _, st := range a.Streams() {
+			if res.TransferBytes[st.Key] != st.Count*st.Bytes {
+				t.Logf("stream %s: %d vs %d\n%s", st.Key, res.TransferBytes[st.Key], st.Count*st.Bytes, p)
+				return false
+			}
+		}
+		if diff := res.Energy - cost.Energy; diff > 1e-6 || diff < -1e-6 {
+			t.Logf("energy %v vs %v\n%s", res.Energy, cost.Energy, p)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,412 @@
+package te
+
+import (
+	"strings"
+	"testing"
+
+	"mhla/internal/assign"
+	"mhla/internal/model"
+	"mhla/internal/platform"
+	"mhla/internal/reuse"
+)
+
+func testPlat(l1 int64) *platform.Platform {
+	return &platform.Platform{
+		Name: "test",
+		Layers: []platform.Layer{
+			{Name: "L1", Capacity: l1, WordBytes: 2, EnergyRead: 1, EnergyWrite: 1.1,
+				LatencyRead: 1, LatencyWrite: 1, BurstBytesPerCycle: 8},
+			{Name: "SDRAM", Capacity: 0, WordBytes: 2, EnergyRead: 50, EnergyWrite: 52,
+				LatencyRead: 18, LatencyWrite: 18, BurstBytesPerCycle: 4, OffChip: true},
+		},
+		DMA: &platform.DMA{SetupCycles: 20, Channels: 2, EnergyPerTransfer: 25},
+	}
+}
+
+// meProgram builds the sliding-window kernel used across TE tests.
+func meProgram() *model.Program {
+	p := model.NewProgram("me")
+	ref := p.NewInput("ref", 1, 72, 72)
+	p.AddBlock("match",
+		model.For("y", 8, model.For("x", 8, model.For("ky", 16, model.For("kx", 16,
+			model.Load(ref, model.IdxC(8, "y").Plus(model.Idx("ky")), model.IdxC(8, "x").Plus(model.Idx("kx"))),
+			model.Work(1))))))
+	return p
+}
+
+// meAssignment selects the 16x16 window copy at L1.
+func meAssignment(t *testing.T, l1 int64) *assign.Assignment {
+	t.Helper()
+	an, err := reuse.Analyze(meProgram())
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	a := assign.New(an, testPlat(l1), reuse.Slide)
+	a.Select(an.Chains[0].ID, 2, 0)
+	if err := a.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return a
+}
+
+func TestExtendFullyHidesSteadyStreams(t *testing.T) {
+	a := meAssignment(t, 2048)
+	plan, err := Extend(a)
+	if err != nil {
+		t.Fatalf("Extend: %v", err)
+	}
+	if !plan.Applicable {
+		t.Fatal("plan not applicable despite DMA")
+	}
+	if len(plan.Streams) != 3 {
+		t.Fatalf("streams = %d, want 3", len(plan.Streams))
+	}
+	byClass := map[int]*Stream{}
+	for _, st := range plan.Streams {
+		byClass[st.Class] = st
+	}
+	// The x-step (class 2) and y-step (class 1) transfers overlap one
+	// iteration of their loops — far more CPU time than BT_time.
+	if st := byClass[2]; !st.FullyExtended || st.HiddenCycles < st.BTTime {
+		t.Errorf("x stream not fully extended: %+v", st)
+	}
+	if st := byClass[1]; !st.FullyExtended {
+		t.Errorf("y stream not fully extended: %+v", st)
+	}
+	// The initial fill is in block 0 — nothing precedes it.
+	if st := byClass[0]; st.HiddenCycles != 0 || st.BlockHoist != 0 {
+		t.Errorf("fill stream unexpectedly extended: %+v", st)
+	}
+}
+
+func TestExtendReducesStallsToFillOnly(t *testing.T) {
+	a := meAssignment(t, 2048)
+	plan, err := Extend(a)
+	if err != nil {
+		t.Fatalf("Extend: %v", err)
+	}
+	noTE := a.Evaluate(assign.EvalOptions{})
+	withTE := plan.Assignment.Evaluate(assign.EvalOptions{Hidden: plan.Hidden()})
+	ideal := a.Evaluate(assign.EvalOptions{Ideal: true})
+	if withTE.Cycles >= noTE.Cycles {
+		t.Errorf("TE cycles %d not below MHLA %d", withTE.Cycles, noTE.Cycles)
+	}
+	if withTE.Cycles < ideal.Cycles {
+		t.Errorf("TE cycles %d below ideal %d", withTE.Cycles, ideal.Cycles)
+	}
+	// Only the fill stall (20 + 256/4 = 84 cycles) remains.
+	if withTE.StallCycles != 84 {
+		t.Errorf("remaining stall = %d, want 84", withTE.StallCycles)
+	}
+	// Energy must be identical in both steps (paper section 3).
+	if withTE.Energy != noTE.Energy {
+		t.Errorf("TE changed energy: %v -> %v", noTE.Energy, withTE.Energy)
+	}
+}
+
+func TestExtendRespectsSizeConstraint(t *testing.T) {
+	// Capacity exactly the copy size: no room for the double buffer.
+	a := meAssignment(t, 256)
+	if !a.Fits() {
+		t.Fatal("base assignment should fit exactly")
+	}
+	plan, err := Extend(a)
+	if err != nil {
+		t.Fatalf("Extend: %v", err)
+	}
+	for _, st := range plan.Streams {
+		if st.HiddenCycles != 0 {
+			t.Errorf("stream %s extended despite no space: %+v", st.Key, st)
+		}
+		if st.Class > 0 && !st.SizeLimited {
+			t.Errorf("stream %s not marked size limited", st.Key)
+		}
+	}
+	if len(plan.Assignment.Extras) != 0 {
+		t.Errorf("extras left behind: %v", plan.Assignment.Extras)
+	}
+	if !plan.Assignment.Fits() {
+		t.Error("plan assignment does not fit")
+	}
+}
+
+func TestExtendPartialWhenRoomForOneBuffer(t *testing.T) {
+	// Room for the x-step double buffer (256+128) but not the y-step
+	// double buffer (needs 256+128+256).
+	a := meAssignment(t, 256+128)
+	plan, err := Extend(a)
+	if err != nil {
+		t.Fatalf("Extend: %v", err)
+	}
+	byClass := map[int]*Stream{}
+	for _, st := range plan.Streams {
+		byClass[st.Class] = st
+	}
+	if st := byClass[2]; !st.FullyExtended {
+		t.Errorf("x stream should be extended: %+v", st)
+	}
+	if st := byClass[1]; st.HiddenCycles != 0 || !st.SizeLimited {
+		t.Errorf("y stream should be size limited: %+v", st)
+	}
+	if !plan.Assignment.Fits() {
+		t.Error("plan assignment does not fit")
+	}
+}
+
+func TestExtendWithoutDMA(t *testing.T) {
+	a := meAssignment(t, 2048)
+	a.Platform.DMA = nil
+	plan, err := Extend(a)
+	if err != nil {
+		t.Fatalf("Extend: %v", err)
+	}
+	if plan.Applicable {
+		t.Error("plan applicable without DMA")
+	}
+	if len(plan.Streams) != 0 || len(plan.Hidden()) != 0 {
+		t.Error("plan not empty without DMA")
+	}
+	if !strings.Contains(plan.String(), "not applicable") {
+		t.Errorf("String() = %q", plan.String())
+	}
+}
+
+func TestExtendDoesNotMutateInput(t *testing.T) {
+	a := meAssignment(t, 2048)
+	if _, err := Extend(a); err != nil {
+		t.Fatalf("Extend: %v", err)
+	}
+	if len(a.Extras) != 0 {
+		t.Errorf("input assignment mutated: %v", a.Extras)
+	}
+}
+
+func TestGreedyOrderAndPriorities(t *testing.T) {
+	a := meAssignment(t, 2048)
+	plan, _ := Extend(a)
+	// Sort factor: x-step 52/128 > fill 84/256 == y-step 84/256.
+	if plan.Streams[0].Class != 2 {
+		t.Errorf("first stream class = %d, want 2 (highest BT_time/size)", plan.Streams[0].Class)
+	}
+	for i, st := range plan.Streams {
+		if st.Priority != i {
+			t.Errorf("stream %d priority = %d", i, st.Priority)
+		}
+	}
+	// Deterministic.
+	plan2, _ := Extend(meAssignment(t, 2048))
+	for i := range plan.Streams {
+		if plan.Streams[i].Key != plan2.Streams[i].Key {
+			t.Error("stream order not deterministic")
+		}
+	}
+}
+
+// producerConsumer returns a two-block program: block 0 produces tmp,
+// block 1 consumes it with heavy reuse.
+func producerConsumer() *model.Program {
+	p := model.NewProgram("pc")
+	in := p.NewInput("in", 2, 64)
+	tmp := p.NewArray("tmp", 2, 64)
+	p.AddBlock("produce",
+		model.For("i", 64,
+			model.Load(in, model.Idx("i")),
+			model.Store(tmp, model.Idx("i")),
+			model.Work(4),
+		))
+	p.AddBlock("consume",
+		model.For("rep", 32,
+			model.For("i", 64,
+				model.Load(tmp, model.Idx("i")),
+				model.Work(2),
+			)))
+	return p
+}
+
+func TestFillHoistAcrossBlocks(t *testing.T) {
+	p := model.NewProgram("hoist")
+	other := p.NewInput("other", 2, 64)
+	in := p.NewInput("in", 2, 256)
+	p.AddBlock("warmup", model.For("i", 64, model.Load(other, model.Idx("i")), model.Work(8)))
+	p.AddBlock("use",
+		model.For("rep", 16, model.For("i", 256, model.Load(in, model.Idx("i")), model.Work(1))))
+	an, err := reuse.Analyze(p)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	a := assign.New(an, testPlat(2048), reuse.Slide)
+	// Copy the whole table for the reuse block.
+	for _, ch := range an.Chains {
+		if ch.Array.Name == "in" {
+			a.Select(ch.ID, 0, 0)
+		}
+	}
+	plan, err := Extend(a)
+	if err != nil {
+		t.Fatalf("Extend: %v", err)
+	}
+	var fill *Stream
+	for _, st := range plan.Streams {
+		if st.Class == 0 && st.ChainID != "" {
+			fill = st
+		}
+	}
+	if fill == nil {
+		t.Fatal("no fill stream")
+	}
+	if fill.BlockHoist != 1 {
+		t.Fatalf("fill not hoisted: %+v", fill)
+	}
+	// Hidden budget is the busy time of block 0: 64*(18+8)... the
+	// exact number comes from the evaluator; just require full hiding
+	// (block 0 is much longer than the 148-cycle transfer).
+	if !fill.FullyExtended {
+		t.Errorf("fill not fully extended: hidden=%d bt=%d", fill.HiddenCycles, fill.BTTime)
+	}
+	// The copy is now live in block 0 as well.
+	objs := plan.Assignment.Objects(0)
+	found := false
+	for _, o := range objs {
+		if strings.Contains(o.ID, "use/in") && o.Start == 0 && o.End == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("hoisted copy lifetime not extended: %+v", objs)
+	}
+}
+
+func TestFillHoistBlockedByProducer(t *testing.T) {
+	p := producerConsumer()
+	an, err := reuse.Analyze(p)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	a := assign.New(an, testPlat(2048), reuse.Slide)
+	for _, ch := range an.Chains {
+		if ch.Array.Name == "tmp" && ch.Kind == model.Read {
+			a.Select(ch.ID, 0, 0)
+		}
+	}
+	plan, err := Extend(a)
+	if err != nil {
+		t.Fatalf("Extend: %v", err)
+	}
+	for _, st := range plan.Streams {
+		if st.Class == 0 && st.BlockHoist != 0 {
+			t.Errorf("fill hoisted across its producer block: %+v", st)
+		}
+	}
+}
+
+func TestSameBlockWriterBlocksExtension(t *testing.T) {
+	// Array written and read in the same block: conservative rule
+	// forbids prefetching its fetch streams.
+	p := model.NewProgram("rw")
+	buf := p.NewArray("buf", 2, 64)
+	p.AddBlock("b",
+		model.For("rep", 16,
+			model.For("i", 64,
+				model.Store(buf, model.Idx("i")),
+				model.Load(buf, model.Idx("i")),
+				model.Work(2),
+			)))
+	an, err := reuse.Analyze(p)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	a := assign.New(an, testPlat(2048), reuse.Slide)
+	for _, ch := range an.Chains {
+		if ch.Kind == model.Read {
+			a.Select(ch.ID, 1, 0)
+		}
+	}
+	plan, err := Extend(a)
+	if err != nil {
+		t.Fatalf("Extend: %v", err)
+	}
+	for _, st := range plan.Streams {
+		if st.Write {
+			continue
+		}
+		if len(st.FreedomLoops) != 0 || st.HiddenCycles != 0 {
+			t.Errorf("read stream of same-block-written array extended: %+v", st)
+		}
+	}
+}
+
+func TestWriteStreamsNotExtended(t *testing.T) {
+	p := producerConsumer()
+	an, err := reuse.Analyze(p)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	a := assign.New(an, testPlat(2048), reuse.Slide)
+	for _, ch := range an.Chains {
+		if ch.Array.Name == "tmp" && ch.Kind == model.Write {
+			a.Select(ch.ID, 0, 0)
+		}
+	}
+	plan, err := Extend(a)
+	if err != nil {
+		t.Fatalf("Extend: %v", err)
+	}
+	for _, st := range plan.Streams {
+		if st.Write && (st.HiddenCycles != 0 || len(st.FreedomLoops) != 0) {
+			t.Errorf("write stream extended: %+v", st)
+		}
+	}
+}
+
+func TestParentLevelLimitsFreedom(t *testing.T) {
+	// Three-level platform with a chain holding copies at levels 1
+	// (L2) and 2 (L1): the L1 copy's steady stream (loop 1) may only
+	// cross loop 1, not loop 0 (the parent updates at loop 1).
+	plat := &platform.Platform{
+		Name: "three",
+		Layers: []platform.Layer{
+			{Name: "L1", Capacity: 1024, WordBytes: 2, EnergyRead: 1, EnergyWrite: 1,
+				LatencyRead: 1, LatencyWrite: 1, BurstBytesPerCycle: 8},
+			{Name: "L2", Capacity: 8192, WordBytes: 2, EnergyRead: 4, EnergyWrite: 4,
+				LatencyRead: 2, LatencyWrite: 2, BurstBytesPerCycle: 8},
+			{Name: "SDRAM", Capacity: 0, WordBytes: 2, EnergyRead: 50, EnergyWrite: 52,
+				LatencyRead: 18, LatencyWrite: 18, BurstBytesPerCycle: 4, OffChip: true},
+		},
+		DMA: &platform.DMA{SetupCycles: 20, Channels: 2, EnergyPerTransfer: 25},
+	}
+	an, err := reuse.Analyze(meProgram())
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	a := assign.New(an, plat, reuse.Slide)
+	a.Select(an.Chains[0].ID, 1, 1) // 16x72 row band at L2
+	a.Select(an.Chains[0].ID, 2, 0) // 16x16 window at L1
+	if err := a.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	plan, err := Extend(a)
+	if err != nil {
+		t.Fatalf("Extend: %v", err)
+	}
+	for _, st := range plan.Streams {
+		if st.Level == 2 && st.Class == 2 {
+			// Parent copy is at level 1: freedom stops there.
+			for _, li := range st.FreedomLoops {
+				if li < 1 {
+					t.Errorf("freedom loop %d crosses parent level: %+v", li, st)
+				}
+			}
+		}
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	a := meAssignment(t, 2048)
+	plan, _ := Extend(a)
+	s := plan.String()
+	for _, want := range []string{"time extension plan", "fully extended", "p0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}

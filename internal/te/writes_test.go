@@ -1,0 +1,107 @@
+package te
+
+import (
+	"testing"
+
+	"mhla/internal/assign"
+	"mhla/internal/model"
+	"mhla/internal/reuse"
+)
+
+// writerProgram builds a row-wise producer whose write-back streams
+// dominate: out rows are drained per row.
+func writerProgram() (*assign.Assignment, error) {
+	p := model.NewProgram("writer")
+	out := p.NewOutput("out", 2, 128, 128)
+	p.AddBlock("fill",
+		model.For("i", 128, model.For("j", 128,
+			model.Store(out, model.Idx("i"), model.Idx("j")),
+			model.Work(4))))
+	an, err := reuse.Analyze(p)
+	if err != nil {
+		return nil, err
+	}
+	a := assign.New(an, testPlat(2048), reuse.Slide)
+	a.Select(an.Chains[0].ID, 1, 0) // one 256B row buffered on-chip
+	return a, nil
+}
+
+func TestExtendWritesOff(t *testing.T) {
+	a, err := writerProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Extend(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range plan.Streams {
+		if st.Write && st.HiddenCycles != 0 {
+			t.Errorf("write stream extended with default options: %+v", st)
+		}
+	}
+}
+
+func TestExtendWritesOverlapsDrains(t *testing.T) {
+	a, err := writerProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := ExtendWithOptions(a, Options{ExtendWrites: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	extended := false
+	for _, st := range plan.Streams {
+		if st.Write && st.LoopIndex >= 0 && st.HiddenCycles > 0 {
+			extended = true
+			if len(st.FreedomLoops) != 1 || st.FreedomLoops[0] != st.LoopIndex {
+				t.Errorf("write freedom = %v, want [%d]", st.FreedomLoops, st.LoopIndex)
+			}
+		}
+	}
+	if !extended {
+		t.Fatal("no write stream extended despite ExtendWrites")
+	}
+	// The evaluated TE point must improve over the default plan.
+	def, err := Extend(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defCost := def.Assignment.Evaluate(assign.EvalOptions{Hidden: def.Hidden()})
+	wCost := plan.Assignment.Evaluate(assign.EvalOptions{Hidden: plan.Hidden()})
+	if wCost.Cycles >= defCost.Cycles {
+		t.Errorf("ExtendWrites did not improve: %d vs %d", wCost.Cycles, defCost.Cycles)
+	}
+	if wCost.Energy != defCost.Energy {
+		t.Errorf("ExtendWrites changed energy: %v vs %v", wCost.Energy, defCost.Energy)
+	}
+	// The drain buffer extra must be accounted.
+	if !plan.Assignment.Fits() {
+		t.Error("plan does not fit")
+	}
+}
+
+func TestExtendWritesRespectsSize(t *testing.T) {
+	a, err := writerProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shrink L1 to exactly the row buffer: no room for the drain
+	// double buffer.
+	a.Platform.Layers[0].Capacity = 256
+	plan, err := ExtendWithOptions(a, Options{ExtendWrites: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range plan.Streams {
+		if st.Write && st.LoopIndex >= 0 {
+			if st.HiddenCycles != 0 || !st.SizeLimited {
+				t.Errorf("write stream extended without space: %+v", st)
+			}
+		}
+	}
+	if !plan.Assignment.Fits() {
+		t.Error("plan does not fit")
+	}
+}

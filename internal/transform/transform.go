@@ -1,0 +1,211 @@
+// Package transform provides source-level loop transformations on
+// application models: tiling (strip-mining) and interchange. In the
+// DTSE methodology these run before MHLA to create better data-reuse
+// opportunities — a tiled loop exposes copy candidates at the tile
+// boundary that the untiled nest does not have.
+//
+// Transformations return a rewritten deep copy; the input program is
+// never modified.
+//
+// Semantics note: Tile preserves the exact iteration order and access
+// sequence (it is always safe). Interchange reorders iterations; in
+// this model (which carries no explicit data-dependence information
+// beyond array access sets) the caller is responsible for its
+// legality on the real code, exactly as with the pragma-driven
+// source-to-source tools of the paper's era.
+package transform
+
+import (
+	"fmt"
+
+	"mhla/internal/model"
+)
+
+// Tile strip-mines the loop with iterator loopVar inside the named
+// block into an outer loop (trip/factor iterations, iterator
+// loopVar+"_o") and an inner loop (factor iterations, iterator
+// loopVar+"_i"). The factor must divide the trip count. Every affine
+// access under the loop is rewritten with
+// coef(loopVar) -> factor*coef for the outer and coef for the inner
+// iterator, which preserves the address sequence exactly.
+func Tile(p *model.Program, block, loopVar string, factor int) (*model.Program, error) {
+	if factor < 1 {
+		return nil, fmt.Errorf("transform: tile factor %d", factor)
+	}
+	q := p.Clone()
+	b := findBlock(q, block)
+	if b == nil {
+		return nil, fmt.Errorf("transform: no block %q", block)
+	}
+	loop, parent := findLoop(&b.Body, loopVar)
+	if loop == nil {
+		return nil, fmt.Errorf("transform: no loop %q in block %q", loopVar, block)
+	}
+	if loop.Trip%factor != 0 {
+		return nil, fmt.Errorf("transform: factor %d does not divide trip %d of loop %q",
+			factor, loop.Trip, loopVar)
+	}
+	outerVar, innerVar := loopVar+"_o", loopVar+"_i"
+	rewriteAccesses(loop.Body, loopVar, outerVar, innerVar, factor)
+	inner := &model.Loop{Var: innerVar, Trip: factor, Body: loop.Body}
+	outer := &model.Loop{Var: outerVar, Trip: loop.Trip / factor, Body: []model.Node{inner}}
+	replaceNode(parent, loop, outer)
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("transform: tiled program invalid: %w", err)
+	}
+	return q, nil
+}
+
+// Interchange swaps the loop with iterator loopVar (in the named
+// block) with its body, which must be exactly one nested loop
+// (perfect nesting). The access expressions are unchanged — only the
+// iteration order moves.
+func Interchange(p *model.Program, block, loopVar string) (*model.Program, error) {
+	q := p.Clone()
+	b := findBlock(q, block)
+	if b == nil {
+		return nil, fmt.Errorf("transform: no block %q", block)
+	}
+	loop, parent := findLoop(&b.Body, loopVar)
+	if loop == nil {
+		return nil, fmt.Errorf("transform: no loop %q in block %q", loopVar, block)
+	}
+	if len(loop.Body) != 1 {
+		return nil, fmt.Errorf("transform: loop %q is not perfectly nested (%d body nodes)",
+			loopVar, len(loop.Body))
+	}
+	child, ok := loop.Body[0].(*model.Loop)
+	if !ok {
+		return nil, fmt.Errorf("transform: loop %q body is not a loop", loopVar)
+	}
+	// child becomes outer; loop becomes inner with child's body.
+	loop.Body = child.Body
+	child.Body = []model.Node{loop}
+	replaceNode(parent, loop, child)
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("transform: interchanged program invalid: %w", err)
+	}
+	return q, nil
+}
+
+// Distribute splits the loop with iterator loopVar into one loop per
+// body node (loop fission), giving each statement its own nest so the
+// assignment step can buffer them independently. Like Interchange it
+// reorders execution; legality on the real code is the caller's
+// responsibility.
+func Distribute(p *model.Program, block, loopVar string) (*model.Program, error) {
+	q := p.Clone()
+	b := findBlock(q, block)
+	if b == nil {
+		return nil, fmt.Errorf("transform: no block %q", block)
+	}
+	loop, parent := findLoop(&b.Body, loopVar)
+	if loop == nil {
+		return nil, fmt.Errorf("transform: no loop %q in block %q", loopVar, block)
+	}
+	if len(loop.Body) < 2 {
+		return nil, fmt.Errorf("transform: loop %q has nothing to distribute", loopVar)
+	}
+	clones := make([]model.Node, 0, len(loop.Body))
+	for i, n := range loop.Body {
+		clones = append(clones, &model.Loop{
+			Var:  fmt.Sprintf("%s_%d", loop.Var, i),
+			Trip: loop.Trip,
+			Body: []model.Node{renameIterator(n, loop.Var, fmt.Sprintf("%s_%d", loop.Var, i))},
+		})
+	}
+	replaceNodes(parent, loop, clones)
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("transform: distributed program invalid: %w", err)
+	}
+	return q, nil
+}
+
+func findBlock(p *model.Program, name string) *model.Block {
+	for _, b := range p.Blocks {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// findLoop locates the loop with the given iterator and the slice
+// that owns it (for replacement).
+func findLoop(owner *[]model.Node, v string) (*model.Loop, *[]model.Node) {
+	for _, n := range *owner {
+		if l, ok := n.(*model.Loop); ok {
+			if l.Var == v {
+				return l, owner
+			}
+			if found, parent := findLoop(&l.Body, v); found != nil {
+				return found, parent
+			}
+		}
+	}
+	return nil, nil
+}
+
+func replaceNode(parent *[]model.Node, old model.Node, new model.Node) {
+	for i, n := range *parent {
+		if n == old {
+			(*parent)[i] = new
+			return
+		}
+	}
+}
+
+func replaceNodes(parent *[]model.Node, old model.Node, news []model.Node) {
+	for i, n := range *parent {
+		if n == old {
+			rest := append([]model.Node(nil), (*parent)[i+1:]...)
+			*parent = append(append((*parent)[:i], news...), rest...)
+			return
+		}
+	}
+}
+
+// rewriteAccesses substitutes v -> factor*outer + inner in every
+// access expression of the subtree.
+func rewriteAccesses(nodes []model.Node, v, outer, inner string, factor int) {
+	for _, n := range nodes {
+		switch n := n.(type) {
+		case *model.Loop:
+			rewriteAccesses(n.Body, v, outer, inner, factor)
+		case *model.Access:
+			for d, e := range n.Index {
+				c := e.Coef(v)
+				if c == 0 {
+					continue
+				}
+				n.Index[d] = e.
+					Plus(model.IdxC(-c, v)).
+					Plus(model.IdxC(c*factor, outer)).
+					Plus(model.IdxC(c, inner))
+			}
+		}
+	}
+}
+
+// renameIterator rewrites v -> nv in one node's subtree (used by
+// Distribute to keep iterator names unique per nest path).
+func renameIterator(n model.Node, v, nv string) model.Node {
+	switch n := n.(type) {
+	case *model.Loop:
+		for i, c := range n.Body {
+			n.Body[i] = renameIterator(c, v, nv)
+		}
+		return n
+	case *model.Access:
+		for d, e := range n.Index {
+			c := e.Coef(v)
+			if c == 0 {
+				continue
+			}
+			n.Index[d] = e.Plus(model.IdxC(-c, v)).Plus(model.IdxC(c, nv))
+		}
+		return n
+	default:
+		return n
+	}
+}
