@@ -1,4 +1,4 @@
-package mhla
+package mhla_test
 
 // The benchmark harness regenerates every figure and headline claim
 // of the paper's evaluation (see the experiment index in DESIGN.md):
@@ -8,37 +8,29 @@ package mhla
 //	                             MHLA+TE, ideal) per application
 //	BenchmarkFigure3/<app>     — normalized memory energy per app
 //	BenchmarkExploration/<app> — trade-off sweep over L1 sizes (E1)
-//	BenchmarkAblation*         — design-choice ablations (A1..A3)
+//	BenchmarkAblation*         — design-choice ablations (A1..A6)
 //	Benchmark<component>       — tool-performance microbenchmarks
 //
-// The reported custom metrics carry the figure data: e.g.
-// "mhla_pct" is the MHLA execution time as a percentage of the
-// original code (Figure 2's bar height). Run with:
+// Everything drives the public pkg/mhla facade (plus internal/apps
+// for the benchmark catalog). The reported custom metrics carry the
+// figure data: e.g. "mhla_pct" is the MHLA execution time as a
+// percentage of the original code (Figure 2's bar height). Run with:
 //
 //	go test -bench=. -benchmem
 import (
+	"context"
 	"testing"
 
 	"mhla/internal/apps"
-	"mhla/internal/assign"
-	"mhla/internal/core"
-	"mhla/internal/dmasim"
-	"mhla/internal/energy"
-	"mhla/internal/explore"
-	"mhla/internal/layout"
-	"mhla/internal/model"
-	"mhla/internal/multitask"
-	"mhla/internal/reuse"
-	"mhla/internal/sim"
-	"mhla/internal/te"
-	"mhla/internal/transform"
+	"mhla/pkg/mhla"
 )
 
 // runApp executes the full flow at paper scale on the app's figure
 // configuration.
-func runApp(b *testing.B, app apps.App, opts assign.Options) *core.Result {
+func runApp(b *testing.B, app apps.App, opts ...mhla.Option) *mhla.Result {
 	b.Helper()
-	res, err := core.Run(app.Build(apps.Paper), core.Config{Platform: energy.TwoLevel(app.L1), Search: opts})
+	opts = append([]mhla.Option{mhla.WithL1(app.L1)}, opts...)
+	res, err := mhla.Run(context.Background(), app.Build(apps.Paper), opts...)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -52,9 +44,9 @@ func BenchmarkFigure2(b *testing.B) {
 	for _, app := range apps.All() {
 		app := app
 		b.Run(app.Name, func(b *testing.B) {
-			var res *core.Result
+			var res *mhla.Result
 			for i := 0; i < b.N; i++ {
-				res = runApp(b, app, assign.DefaultOptions())
+				res = runApp(b, app)
 			}
 			g := res.Gains()
 			b.ReportMetric(100*g.MHLACycles, "mhla_pct")
@@ -72,9 +64,9 @@ func BenchmarkFigure3(b *testing.B) {
 	for _, app := range apps.All() {
 		app := app
 		b.Run(app.Name, func(b *testing.B) {
-			var res *core.Result
+			var res *mhla.Result
 			for i := 0; i < b.N; i++ {
-				res = runApp(b, app, assign.DefaultOptions())
+				res = runApp(b, app)
 			}
 			g := res.Gains()
 			b.ReportMetric(100*g.MHLAEnergy, "energy_pct")
@@ -95,10 +87,10 @@ func BenchmarkExploration(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Run(name, func(b *testing.B) {
-			var sw *explore.Sweep
+			var sw *mhla.Sweep
 			for i := 0; i < b.N; i++ {
 				var err error
-				sw, err = explore.Run(app.Build(apps.Paper), explore.DefaultSizes(), assign.DefaultOptions())
+				sw, err = mhla.SweepL1(context.Background(), app.Build(apps.Paper), mhla.DefaultSweepSizes())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -117,6 +109,37 @@ func BenchmarkExploration(b *testing.B) {
 			b.ReportMetric(maxE/minE, "energy_spread_x")
 		})
 	}
+}
+
+// BenchmarkBatchExplorer measures the concurrent batch Explorer on an
+// app x size x objective grid, reporting jobs and worker throughput.
+func BenchmarkBatchExplorer(b *testing.B) {
+	grid := mhla.Grid{
+		L1Sizes:    []int64{512, 1024, 2048, 4096},
+		Objectives: []mhla.Objective{mhla.Energy, mhla.Time},
+	}
+	for _, name := range []string{"me", "durbin", "sobel"} {
+		app, err := apps.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		grid.Apps = append(grid.Apps, mhla.GridApp{Name: app.Name, Program: app.Build(apps.Paper)})
+	}
+	jobs := grid.Jobs()
+	var ex mhla.Explorer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := ex.Explore(context.Background(), jobs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(jobs)), "jobs")
 }
 
 // BenchmarkAblationInplace quantifies the in-place (lifetime-aware)
@@ -141,16 +164,14 @@ func BenchmarkAblationInplace(b *testing.B) {
 		}
 		prog := app.Build(apps.Paper)
 		b.Run(c.name, func(b *testing.B) {
-			var with, without *core.Result
+			var with, without *mhla.Result
 			for i := 0; i < b.N; i++ {
-				opts := assign.DefaultOptions()
 				var err error
-				with, err = core.Run(prog, core.Config{Platform: energy.TwoLevel(c.l1), Search: opts})
+				with, err = mhla.Run(context.Background(), prog, mhla.WithL1(c.l1))
 				if err != nil {
 					b.Fatal(err)
 				}
-				opts.InPlace = false
-				without, err = core.Run(prog, core.Config{Platform: energy.TwoLevel(c.l1), Search: opts})
+				without, err = mhla.Run(context.Background(), prog, mhla.WithL1(c.l1), mhla.WithoutInPlace())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -170,13 +191,10 @@ func BenchmarkAblationPolicy(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Run(name, func(b *testing.B) {
-			var slide, refetch *core.Result
+			var slide, refetch *mhla.Result
 			for i := 0; i < b.N; i++ {
-				opts := assign.DefaultOptions()
-				opts.Policy = reuse.Slide
-				slide = runApp(b, app, opts)
-				opts.Policy = reuse.Refetch
-				refetch = runApp(b, app, opts)
+				slide = runApp(b, app, mhla.WithPolicy(mhla.Slide))
+				refetch = runApp(b, app, mhla.WithPolicy(mhla.Refetch))
 			}
 			b.ReportMetric(100*slide.Gains().MHLAEnergy, "slide_energy_pct")
 			b.ReportMetric(100*refetch.Gains().MHLAEnergy, "refetch_energy_pct")
@@ -195,20 +213,18 @@ func BenchmarkAblationSearch(b *testing.B) {
 		}
 		b.Run(name, func(b *testing.B) {
 			prog := app.Build(apps.Test)
-			plat := energy.TwoLevel(app.L1)
-			an, err := reuse.Analyze(prog)
+			plat := mhla.TwoLevel(app.L1)
+			an, err := mhla.Analyze(prog)
 			if err != nil {
 				b.Fatal(err)
 			}
-			var greedy, optimal *assign.Result
+			var greedy, optimal *mhla.SearchResult
 			for i := 0; i < b.N; i++ {
-				opts := assign.DefaultOptions()
-				greedy, err = assign.Search(an, plat, opts)
+				greedy, err = mhla.Search(context.Background(), an, plat)
 				if err != nil {
 					b.Fatal(err)
 				}
-				opts.Engine = assign.BranchBound
-				optimal, err = assign.Search(an, plat, opts)
+				optimal, err = mhla.Search(context.Background(), an, plat, mhla.WithEngine(mhla.BnB))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -234,7 +250,7 @@ func BenchmarkReuseAnalysis(b *testing.B) {
 		prog := app.Build(apps.Paper)
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := reuse.Analyze(prog); err != nil {
+				if _, err := mhla.Analyze(prog); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -250,14 +266,14 @@ func BenchmarkAssignmentSearch(b *testing.B) {
 			b.Fatal(err)
 		}
 		prog := app.Build(apps.Paper)
-		an, err := reuse.Analyze(prog)
+		an, err := mhla.Analyze(prog)
 		if err != nil {
 			b.Fatal(err)
 		}
-		plat := energy.TwoLevel(app.L1)
+		plat := mhla.TwoLevel(app.L1)
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := assign.Search(an, plat, assign.DefaultOptions()); err != nil {
+				if _, err := mhla.Search(context.Background(), an, plat); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -273,17 +289,17 @@ func BenchmarkTimeExtension(b *testing.B) {
 			b.Fatal(err)
 		}
 		prog := app.Build(apps.Paper)
-		an, err := reuse.Analyze(prog)
+		an, err := mhla.Analyze(prog)
 		if err != nil {
 			b.Fatal(err)
 		}
-		sr, err := assign.Search(an, energy.TwoLevel(app.L1), assign.DefaultOptions())
+		sr, err := mhla.Search(context.Background(), an, mhla.TwoLevel(app.L1))
 		if err != nil {
 			b.Fatal(err)
 		}
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := te.Extend(sr.Assignment); err != nil {
+				if _, err := mhla.Extend(sr.Assignment); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -300,17 +316,17 @@ func BenchmarkTraceSimulator(b *testing.B) {
 			b.Fatal(err)
 		}
 		prog := app.Build(apps.Test)
-		an, err := reuse.Analyze(prog)
+		an, err := mhla.Analyze(prog)
 		if err != nil {
 			b.Fatal(err)
 		}
-		sr, err := assign.Search(an, energy.TwoLevel(app.L1), assign.DefaultOptions())
+		sr, err := mhla.Search(context.Background(), an, mhla.TwoLevel(app.L1))
 		if err != nil {
 			b.Fatal(err)
 		}
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := sim.Trace(sr.Assignment, sim.Options{}); err != nil {
+				if _, err := mhla.SimulateTrace(sr.Assignment, 0); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -328,28 +344,28 @@ func BenchmarkAblationWrites(b *testing.B) {
 			b.Fatal(err)
 		}
 		prog := app.Build(apps.Paper)
-		an, err := reuse.Analyze(prog)
+		an, err := mhla.Analyze(prog)
 		if err != nil {
 			b.Fatal(err)
 		}
-		sr, err := assign.Search(an, energy.TwoLevel(app.L1), assign.DefaultOptions())
+		sr, err := mhla.Search(context.Background(), an, mhla.TwoLevel(app.L1))
 		if err != nil {
 			b.Fatal(err)
 		}
 		b.Run(name, func(b *testing.B) {
-			var def, wr *te.Plan
+			var def, wr *mhla.Plan
 			for i := 0; i < b.N; i++ {
-				def, err = te.Extend(sr.Assignment)
+				def, err = mhla.Extend(sr.Assignment)
 				if err != nil {
 					b.Fatal(err)
 				}
-				wr, err = te.ExtendWithOptions(sr.Assignment, te.Options{ExtendWrites: true})
+				wr, err = mhla.ExtendWithWrites(sr.Assignment)
 				if err != nil {
 					b.Fatal(err)
 				}
 			}
-			dc := def.Assignment.Evaluate(assign.EvalOptions{Hidden: def.Hidden()})
-			wc := wr.Assignment.Evaluate(assign.EvalOptions{Hidden: wr.Hidden()})
+			dc := def.Assignment.Evaluate(mhla.EvalOptions{Hidden: def.Hidden()})
+			wc := wr.Assignment.Evaluate(mhla.EvalOptions{Hidden: wr.Hidden()})
 			b.ReportMetric(float64(dc.StallCycles), "stall_default")
 			b.ReportMetric(float64(wc.StallCycles), "stall_writes")
 		})
@@ -367,14 +383,15 @@ func BenchmarkHierarchyDepth(b *testing.B) {
 		}
 		prog := app.Build(apps.Paper)
 		b.Run(name, func(b *testing.B) {
-			var two, three *core.Result
+			var two, three *mhla.Result
 			for i := 0; i < b.N; i++ {
 				var err error
-				two, err = core.Run(prog, core.Config{Platform: energy.TwoLevel(app.L1)})
+				two, err = mhla.Run(context.Background(), prog, mhla.WithL1(app.L1))
 				if err != nil {
 					b.Fatal(err)
 				}
-				three, err = core.Run(prog, core.Config{Platform: energy.ThreeLevel(app.L1/4, app.L1-app.L1/4)})
+				three, err = mhla.Run(context.Background(), prog,
+					mhla.WithPlatform(mhla.ThreeLevel(app.L1/4, app.L1-app.L1/4)))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -390,38 +407,38 @@ func BenchmarkHierarchyDepth(b *testing.B) {
 // tile+interchange blocked version.
 func BenchmarkAblationBlocking(b *testing.B) {
 	const n = 64
-	build := func() *model.Program {
-		p := model.NewProgram("matmul")
+	build := func() *mhla.Program {
+		p := mhla.NewProgram("matmul")
 		ma := p.NewInput("a", 2, n, n)
 		mb := p.NewInput("b", 2, n, n)
 		mc := p.NewOutput("c", 2, n, n)
 		p.AddBlock("mm",
-			model.For("i", n, model.For("j", n,
-				model.For("k", n,
-					model.Load(ma, model.Idx("i"), model.Idx("k")),
-					model.Load(mb, model.Idx("k"), model.Idx("j")),
-					model.Work(2),
+			mhla.For("i", n, mhla.For("j", n,
+				mhla.For("k", n,
+					mhla.Load(ma, mhla.Idx("i"), mhla.Idx("k")),
+					mhla.Load(mb, mhla.Idx("k"), mhla.Idx("j")),
+					mhla.Work(2),
 				),
-				model.Store(mc, model.Idx("i"), model.Idx("j")))))
+				mhla.Store(mc, mhla.Idx("i"), mhla.Idx("j")))))
 		return p
 	}
-	var naive, blocked *core.Result
+	var naive, blocked *mhla.Result
 	for i := 0; i < b.N; i++ {
 		p := build()
-		tiled, err := transform.Tile(p, "mm", "j", 8)
+		tiled, err := mhla.Tile(p, "mm", "j", 8)
 		if err != nil {
 			b.Fatal(err)
 		}
-		q, err := transform.Interchange(tiled, "mm", "i")
+		q, err := mhla.Interchange(tiled, "mm", "i")
 		if err != nil {
 			b.Fatal(err)
 		}
-		plat := energy.TwoLevel(4096)
-		naive, err = core.Run(p, core.Config{Platform: plat})
+		plat := mhla.TwoLevel(4096)
+		naive, err = mhla.Run(context.Background(), p, mhla.WithPlatform(plat))
 		if err != nil {
 			b.Fatal(err)
 		}
-		blocked, err = core.Run(q, core.Config{Platform: plat})
+		blocked, err = mhla.Run(context.Background(), q, mhla.WithPlatform(plat))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -437,12 +454,12 @@ func BenchmarkEventSimulator(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	res, err := core.Run(app.Build(apps.Paper), core.Config{Platform: energy.TwoLevel(app.L1)})
+	res, err := mhla.Run(context.Background(), app.Build(apps.Paper), mhla.WithL1(app.L1))
 	if err != nil {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		if _, err := dmasim.Simulate(res.Plan); err != nil {
+		if _, err := mhla.SimulateDMA(res.Plan); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -451,9 +468,9 @@ func BenchmarkEventSimulator(b *testing.B) {
 // BenchmarkLayout measures the in-place address mapper across the
 // nine figure assignments.
 func BenchmarkLayout(b *testing.B) {
-	var plans []*te.Plan
+	var plans []*mhla.Plan
 	for _, app := range apps.All() {
-		res, err := core.Run(app.Build(apps.Paper), core.Config{Platform: energy.TwoLevel(app.L1)})
+		res, err := mhla.Run(context.Background(), app.Build(apps.Paper), mhla.WithL1(app.L1))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -464,7 +481,7 @@ func BenchmarkLayout(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		frag = 0
 		for _, plan := range plans {
-			maps, err := layout.Map(plan.Assignment)
+			maps, err := mhla.Layout(plan.Assignment)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -479,18 +496,18 @@ func BenchmarkLayout(b *testing.B) {
 // BenchmarkMultiTask measures the future-work multi-task partitioning
 // on three audio/image tasks sharing an 8 KiB scratchpad.
 func BenchmarkMultiTask(b *testing.B) {
-	var tasks []multitask.Task
+	var tasks []mhla.Task
 	for _, name := range []string{"durbin", "voice", "sobel"} {
 		app, err := apps.ByName(name)
 		if err != nil {
 			b.Fatal(err)
 		}
-		tasks = append(tasks, multitask.Task{Name: name, Program: app.Build(apps.Test)})
+		tasks = append(tasks, mhla.Task{Name: name, Program: app.Build(apps.Test)})
 	}
-	var plan *multitask.Plan
+	var plan *mhla.MultiTaskPlan
 	for i := 0; i < b.N; i++ {
 		var err error
-		plan, err = multitask.Partition(tasks, 8192, assign.DefaultOptions())
+		plan, err = mhla.Partition(tasks, 8192)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,17 +1,21 @@
 // Command mhla-explore sweeps the on-chip layer size for one
-// application, running the full MHLA+TE flow at every point, and
-// prints the trade-off table, its Pareto frontier and (optionally)
-// CSV for external plotting. This regenerates the paper's trade-off
-// exploration (experiment E1 in DESIGN.md).
+// application — or fans a whole app x size x objective grid out over
+// the concurrent batch Explorer — running the full MHLA+TE flow at
+// every point. It prints the trade-off table, its Pareto frontier and
+// (optionally) CSV for external plotting. This regenerates the
+// paper's trade-off exploration (experiment E1 in DESIGN.md).
 //
 // Usage:
 //
 //	mhla-explore -app qsdpcm
 //	mhla-explore -app me -sizes 512,1024,2048,4096
 //	mhla-explore -app cavity -csv > cavity.csv
+//	mhla-explore -apps me,qsdpcm,durbin -workers 8   # concurrent batch
+//	mhla-explore -apps me,qsdpcm -csv > batch.csv    # batch as CSV
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,24 +23,21 @@ import (
 	"strings"
 
 	"mhla/internal/apps"
-	"mhla/internal/assign"
-	"mhla/internal/explore"
-	"mhla/internal/pareto"
+	"mhla/pkg/mhla"
 )
 
 func main() {
 	var (
-		appName = flag.String("app", "qsdpcm", "application to explore")
-		sizeCSV = flag.String("sizes", "", "comma-separated L1 sizes in bytes (default 256..64K powers of two)")
-		scale   = flag.String("scale", "paper", "workload scale: paper or test")
-		emitCSV = flag.Bool("csv", false, "emit CSV instead of tables")
+		appName  = flag.String("app", "qsdpcm", "application to explore")
+		appsCSV  = flag.String("apps", "", "comma-separated applications for a concurrent batch grid (overrides -app)")
+		sizeCSV  = flag.String("sizes", "", "comma-separated L1 sizes in bytes (default 256..64K powers of two)")
+		scale    = flag.String("scale", "paper", "workload scale: paper or test")
+		workers  = flag.Int("workers", 0, "batch worker count (0 = GOMAXPROCS)")
+		emitCSV  = flag.Bool("csv", false, "emit CSV instead of tables")
+		progress = flag.Bool("progress", false, "report batch progress on stderr")
 	)
 	flag.Parse()
 
-	app, err := apps.ByName(*appName)
-	if err != nil {
-		fatal(err)
-	}
 	sc := apps.Paper
 	if *scale == "test" {
 		sc = apps.Test
@@ -52,7 +53,16 @@ func main() {
 		}
 	}
 
-	sw, err := explore.Run(app.Build(sc), sizes, assign.DefaultOptions())
+	if *appsCSV != "" {
+		batch(*appsCSV, sc, sizes, *workers, *progress, *emitCSV)
+		return
+	}
+
+	app, err := apps.ByName(*appName)
+	if err != nil {
+		fatal(err)
+	}
+	sw, err := mhla.SweepL1(context.Background(), app.Build(sc), sizes)
 	if err != nil {
 		fatal(err)
 	}
@@ -63,7 +73,45 @@ func main() {
 	fmt.Print(sw)
 	fmt.Println()
 	fmt.Println("Pareto frontier (MHLA+TE points):")
-	fmt.Print(pareto.Render(sw.Frontier()))
+	fmt.Print(mhla.ParetoRender(sw.Frontier()))
+}
+
+// batch fans the requested applications out over the Explorer worker
+// pool and prints the deterministic batch report.
+func batch(appsCSV string, sc apps.Scale, sizes []int64, workers int, progress, emitCSV bool) {
+	var grid mhla.Grid
+	for _, name := range strings.Split(appsCSV, ",") {
+		app, err := apps.ByName(strings.TrimSpace(name))
+		if err != nil {
+			fatal(err)
+		}
+		grid.Apps = append(grid.Apps, mhla.GridApp{Name: app.Name, Program: app.Build(sc)})
+	}
+	grid.L1Sizes = sizes
+
+	ex := mhla.Explorer{Workers: workers}
+	if progress {
+		ex.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rmhla-explore: %d/%d jobs", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	results, err := ex.Explore(context.Background(), grid.Jobs())
+	if err != nil {
+		fatal(err)
+	}
+	if emitCSV {
+		fmt.Print(mhla.BatchCSV(results))
+	} else {
+		fmt.Print(mhla.BatchReport(results))
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			os.Exit(1)
+		}
+	}
 }
 
 func fatal(err error) {

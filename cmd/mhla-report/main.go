@@ -1,7 +1,8 @@
 // Command mhla-report regenerates the paper's evaluation: it runs the
 // full MHLA+TE flow on all nine applications at their figure
-// configurations and renders Figure 2 (performance), Figure 3
-// (energy) and the abstract's headline claims.
+// configurations — concurrently, through the batch Explorer — and
+// renders Figure 2 (performance), Figure 3 (energy) and the
+// abstract's headline claims.
 //
 // Usage:
 //
@@ -12,14 +13,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"mhla/internal/apps"
-	"mhla/internal/core"
-	"mhla/internal/energy"
-	"mhla/internal/report"
+	"mhla/pkg/mhla"
 )
 
 func main() {
@@ -27,6 +27,7 @@ func main() {
 		figure  = flag.Int("figure", 0, "figure to render: 2, 3, or 0 for both")
 		emitCSV = flag.Bool("csv", false, "emit CSV instead of figures")
 		scale   = flag.String("scale", "paper", "workload scale: paper or test")
+		workers = flag.Int("workers", 0, "concurrent flow runs (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -34,27 +35,45 @@ func main() {
 	if *scale == "test" {
 		sc = apps.Test
 	}
-	var results []report.AppResult
+	// One job per application at its figure L1, in figure order (the
+	// Explorer keeps result order deterministic under concurrency).
+	var jobs []mhla.Job
 	for _, app := range apps.All() {
-		res, err := core.Run(app.Build(sc), core.Config{Platform: energy.TwoLevel(app.L1)})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "mhla-report: %s: %v\n", app.Name, err)
-			os.Exit(1)
+		jobs = append(jobs, mhla.Job{
+			Label:   app.Name,
+			Program: app.Build(sc),
+			Options: []mhla.Option{mhla.WithL1(app.L1)},
+		})
+	}
+	ex := mhla.Explorer{Workers: *workers}
+	batch, err := ex.Explore(context.Background(), jobs)
+	if err != nil {
+		fatal(err)
+	}
+	var results []mhla.AppResult
+	for _, r := range batch {
+		if r.Err != nil {
+			fatal(fmt.Errorf("%s: %w", r.Label, r.Err))
 		}
-		results = append(results, report.AppResult{Name: app.Name, Result: res})
+		results = append(results, mhla.AppResult{Name: r.Label, Result: r.Result})
 	}
 
 	if *emitCSV {
-		fmt.Print(report.CSV(results))
+		fmt.Print(mhla.ReportCSV(results))
 		return
 	}
 	if *figure == 0 || *figure == 2 {
-		fmt.Print(report.Figure2(results))
+		fmt.Print(mhla.Figure2(results))
 		fmt.Println()
 	}
 	if *figure == 0 || *figure == 3 {
-		fmt.Print(report.Figure3(results))
+		fmt.Print(mhla.Figure3(results))
 		fmt.Println()
 	}
-	fmt.Print(report.Summary(results))
+	fmt.Print(mhla.ReportSummary(results))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mhla-report:", err)
+	os.Exit(1)
 }

@@ -1,32 +1,36 @@
 // Command mhla runs the full MHLA-with-time-extensions flow on one of
 // the nine benchmark applications and prints the resulting assignment,
 // prefetch plan and the four operating points of the paper's figures.
+// It is a thin shell over the pkg/mhla facade:
+//
+//	res, err := mhla.Run(ctx, prog,
+//		mhla.WithPlatform(plat),
+//		mhla.WithObjective(mhla.Energy),
+//	)
 //
 // Usage:
 //
 //	mhla -app me                 # paper-scale run on the app's default L1
 //	mhla -app cavity -l1 4096    # override the on-chip size
 //	mhla -app me -objective time # optimize cycles instead of energy
+//	mhla -app me -engine bnb     # exact search instead of greedy
 //	mhla -app me -no-te          # skip the time-extension step
+//	mhla -app me -timeout 30s    # bound the search wall-clock
 //	mhla -app me -verbose        # also dump the assignment and TE plan
 //	mhla -model fir.json         # explore an external JSON application
 //	mhla -app me -platform p.json  # explore on an external platform
-//	mhla -list                   # list the applications
+//	mhla -list                   # list the applications (sorted by name)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"mhla/internal/apps"
-	"mhla/internal/assign"
-	"mhla/internal/core"
-	"mhla/internal/energy"
-	"mhla/internal/layout"
-	"mhla/internal/model"
-	"mhla/internal/modelio"
-	"mhla/internal/reuse"
+	"mhla/pkg/mhla"
 )
 
 func main() {
@@ -40,6 +44,7 @@ func main() {
 		noTE      = flag.Bool("no-te", false, "skip the time-extension step")
 		noDMA     = flag.Bool("no-dma", false, "platform without a DMA engine (TE not applicable)")
 		noInplace = flag.Bool("no-inplace", false, "disable lifetime-aware (in-place) size estimation")
+		timeout   = flag.Duration("timeout", 0, "abort the flow after this duration (0 = none)")
 		verbose   = flag.Bool("verbose", false, "print the assignment and the TE plan")
 		list      = flag.Bool("list", false, "list the available applications")
 		modelFile = flag.String("model", "", "JSON application model file (overrides -app)")
@@ -48,7 +53,9 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		for _, a := range apps.All() {
+		all := apps.All()
+		sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
+		for _, a := range all {
 			fmt.Printf("%-8s %-18s L1=%-6d %s\n", a.Name, a.Domain, a.L1, a.Description)
 		}
 		return
@@ -58,7 +65,7 @@ func main() {
 	if *scale == "test" {
 		sc = apps.Test
 	}
-	var prog *model.Program
+	var prog *mhla.Program
 	name := *appName
 	size := int64(0)
 	if *modelFile != "" {
@@ -66,12 +73,12 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		prog, err = modelio.DecodeProgram(data)
+		prog, err = mhla.DecodeProgram(data)
 		if err != nil {
 			fatal(err)
 		}
 		name = prog.Name
-		size = 4096
+		size = mhla.DefaultL1
 	} else {
 		app, err := apps.ByName(name)
 		if err != nil {
@@ -83,53 +90,53 @@ func main() {
 	if *l1 > 0 {
 		size = *l1
 	}
-	plat := energy.TwoLevel(size)
+	plat := mhla.TwoLevel(size)
 	if *noDMA {
-		plat = energy.TwoLevelNoDMA(size)
+		plat = mhla.TwoLevelNoDMA(size)
 	}
 	if *platFile != "" {
 		data, err := os.ReadFile(*platFile)
 		if err != nil {
 			fatal(err)
 		}
-		plat, err = modelio.DecodePlatform(data)
+		plat, err = mhla.DecodePlatform(data)
 		if err != nil {
 			fatal(err)
 		}
 	}
 
-	opts := assign.DefaultOptions()
-	switch *objective {
-	case "energy":
-		opts.Objective = assign.MinEnergy
-	case "time":
-		opts.Objective = assign.MinTime
-	case "edp":
-		opts.Objective = assign.MinEDP
-	default:
-		fatal(fmt.Errorf("unknown objective %q", *objective))
+	obj, err := mhla.ParseObjective(*objective)
+	if err != nil {
+		fatal(err)
 	}
-	switch *engine {
-	case "greedy":
-		opts.Engine = assign.Greedy
-	case "bnb":
-		opts.Engine = assign.BranchBound
-	case "exhaustive":
-		opts.Engine = assign.Exhaustive
-	default:
-		fatal(fmt.Errorf("unknown engine %q", *engine))
+	eng, err := mhla.ParseEngine(*engine)
+	if err != nil {
+		fatal(err)
 	}
-	switch *policy {
-	case "slide":
-		opts.Policy = reuse.Slide
-	case "refetch":
-		opts.Policy = reuse.Refetch
-	default:
-		fatal(fmt.Errorf("unknown policy %q", *policy))
+	pol, err := mhla.ParsePolicy(*policy)
+	if err != nil {
+		fatal(err)
 	}
-	opts.InPlace = !*noInplace
+	opts := []mhla.Option{
+		mhla.WithPlatform(plat),
+		mhla.WithObjective(obj),
+		mhla.WithEngine(eng),
+		mhla.WithPolicy(pol),
+	}
+	if *noTE {
+		opts = append(opts, mhla.WithoutTE())
+	}
+	if *noInplace {
+		opts = append(opts, mhla.WithoutInPlace())
+	}
 
-	res, err := core.Run(prog, core.Config{Platform: plat, Search: opts, DisableTE: *noTE})
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := mhla.Run(ctx, prog, opts...)
 	if err != nil {
 		fatal(err)
 	}
@@ -145,7 +152,7 @@ func main() {
 		fmt.Print(res.Assignment.ExplainString())
 		fmt.Println()
 		fmt.Print(res.Plan)
-		if maps, err := layout.Map(res.Plan.Assignment); err == nil {
+		if maps, err := mhla.Layout(res.Plan.Assignment); err == nil {
 			for _, m := range maps {
 				fmt.Println()
 				fmt.Print(m)

@@ -5,8 +5,19 @@
 //	Prefetching Technique to Overcome the Memory Performance/Energy
 //	Bottleneck." DATE 2005.
 //
-// The library implements the complete tool flow: the application
-// model (internal/model), data-reuse analysis deriving copy-candidate
+// The public entry point is the pkg/mhla facade: a functional-options
+// API over the complete tool flow, with context-aware cancellation,
+// progress callbacks and a concurrent batch Explorer:
+//
+//	import "mhla/pkg/mhla"
+//
+//	res, err := mhla.Run(ctx, prog,
+//		mhla.WithPlatform(mhla.TwoLevel(4096)),
+//		mhla.WithObjective(mhla.Energy),
+//	)
+//
+// Under the facade, the library implements the application model
+// (internal/model), data-reuse analysis deriving copy-candidate
 // chains (internal/reuse), the platform and memory energy models
 // (internal/platform, internal/energy), lifetime-aware layer
 // assignment (internal/lifetime, internal/assign), the time-extension
@@ -17,6 +28,6 @@
 // (internal/explore, internal/pareto, internal/report, internal/core).
 //
 // The root-level benchmarks in bench_test.go regenerate every figure
-// of the paper; see DESIGN.md for the experiment index and
-// EXPERIMENTS.md for paper-vs-measured results.
+// of the paper through the facade; DESIGN.md holds the package map
+// and the experiment index.
 package mhla

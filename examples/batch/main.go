@@ -1,0 +1,56 @@
+// Concurrent batch exploration: fan an application x L1-size x
+// objective grid out over the Explorer worker pool, with live
+// progress, a wall-clock budget enforced through context, and a
+// deterministic batch report regardless of worker scheduling.
+//
+//	go run ./examples/batch
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"mhla/internal/apps"
+	"mhla/pkg/mhla"
+)
+
+func main() {
+	// Three applications, four scratchpad sizes, two objectives:
+	// 24 full MHLA+TE flow runs.
+	grid := mhla.Grid{
+		L1Sizes:    []int64{512, 1024, 2048, 4096},
+		Objectives: []mhla.Objective{mhla.Energy, mhla.Time},
+	}
+	for _, name := range []string{"me", "durbin", "sobel"} {
+		app, err := apps.ByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		grid.Apps = append(grid.Apps, mhla.GridApp{Name: app.Name, Program: app.Build(apps.Paper)})
+	}
+	jobs := grid.Jobs()
+
+	// The whole batch shares one deadline; a cancelled batch returns
+	// promptly with ctx.Err() and marks unfinished jobs.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	ex := mhla.Explorer{
+		Progress: func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d jobs", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		},
+	}
+	start := time.Now()
+	results, err := ex.Explore(ctx, jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d jobs in %v\n\n", len(results), time.Since(start).Round(time.Millisecond))
+	fmt.Print(mhla.BatchReport(results))
+}

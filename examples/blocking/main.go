@@ -8,51 +8,50 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"mhla/internal/core"
-	"mhla/internal/energy"
-	"mhla/internal/model"
-	"mhla/internal/transform"
+	"mhla/pkg/mhla"
 )
 
 func main() {
 	const n = 64
-	p := model.NewProgram("matmul")
+	p := mhla.NewProgram("matmul")
 	a := p.NewInput("a", 2, n, n)
 	b := p.NewInput("b", 2, n, n)
 	c := p.NewOutput("c", 2, n, n)
 	p.AddBlock("mm",
-		model.For("i", n,
-			model.For("j", n,
-				model.For("k", n,
-					model.Load(a, model.Idx("i"), model.Idx("k")),
-					model.Load(b, model.Idx("k"), model.Idx("j")),
-					model.Work(2),
+		mhla.For("i", n,
+			mhla.For("j", n,
+				mhla.For("k", n,
+					mhla.Load(a, mhla.Idx("i"), mhla.Idx("k")),
+					mhla.Load(b, mhla.Idx("k"), mhla.Idx("j")),
+					mhla.Work(2),
 				),
-				model.Store(c, model.Idx("i"), model.Idx("j")),
+				mhla.Store(c, mhla.Idx("i"), mhla.Idx("j")),
 			)))
 
 	// Classic blocking: strip-mine j by 8, then hoist j_o above i so
 	// the 64x8 strip of B stays live across the whole i sweep.
-	tiled, err := transform.Tile(p, "mm", "j", 8)
+	tiled, err := mhla.Tile(p, "mm", "j", 8)
 	if err != nil {
 		log.Fatal(err)
 	}
-	blocked, err := transform.Interchange(tiled, "mm", "i")
+	blocked, err := mhla.Interchange(tiled, "mm", "i")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("blocked nest:")
 	fmt.Print(blocked)
 
-	plat := energy.TwoLevel(4096)
-	before, err := core.Run(p, core.Config{Platform: plat})
+	ctx := context.Background()
+	plat := mhla.TwoLevel(4096)
+	before, err := mhla.Run(ctx, p, mhla.WithPlatform(plat))
 	if err != nil {
 		log.Fatal(err)
 	}
-	after, err := core.Run(blocked, core.Config{Platform: plat})
+	after, err := mhla.Run(ctx, blocked, mhla.WithPlatform(plat))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,23 +1,22 @@
 // Modelling a new application: a tiled matrix multiply written with
-// the builder API, demonstrating multi-block lifetimes (the in-place
-// optimization) and how to read the exploration results.
+// the facade's builder API, demonstrating multi-block lifetimes (the
+// in-place optimization) and how to read the exploration results.
 //
 //	go run ./examples/customapp
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"mhla/internal/core"
-	"mhla/internal/energy"
-	"mhla/internal/model"
+	"mhla/pkg/mhla"
 )
 
 func main() {
 	const n = 48 // matrices are n x n, 16-bit elements
 
-	p := model.NewProgram("matmul")
+	p := mhla.NewProgram("matmul")
 	a := p.NewInput("a", 2, n, n)
 	b := p.NewInput("b", 2, n, n)
 	c := p.NewArray("c", 2, n, n)
@@ -26,14 +25,14 @@ func main() {
 	// Phase 1: C = A x B. The innermost loop walks a row of A and a
 	// column of B; the column walk is the expensive off-chip pattern.
 	p.AddBlock("multiply",
-		model.For("i", n,
-			model.For("j", n,
-				model.For("k", n,
-					model.Load(a, model.Idx("i"), model.Idx("k")),
-					model.Load(b, model.Idx("k"), model.Idx("j")),
-					model.Work(2),
+		mhla.For("i", n,
+			mhla.For("j", n,
+				mhla.For("k", n,
+					mhla.Load(a, mhla.Idx("i"), mhla.Idx("k")),
+					mhla.Load(b, mhla.Idx("k"), mhla.Idx("j")),
+					mhla.Work(2),
 				),
-				model.Store(c, model.Idx("i"), model.Idx("j")),
+				mhla.Store(c, mhla.Idx("i"), mhla.Idx("j")),
 			),
 		),
 	)
@@ -42,11 +41,11 @@ func main() {
 	// dead — the in-place estimator lets its on-chip copies share
 	// space with phase-1 buffers.
 	p.AddBlock("postscale",
-		model.For("i", n,
-			model.For("j", n,
-				model.Load(c, model.Idx("i"), model.Idx("j")),
-				model.Work(3),
-				model.Store(out, model.Idx("i"), model.Idx("j")),
+		mhla.For("i", n,
+			mhla.For("j", n,
+				mhla.Load(c, mhla.Idx("i"), mhla.Idx("j")),
+				mhla.Work(3),
+				mhla.Store(out, mhla.Idx("i"), mhla.Idx("j")),
 			),
 		),
 	)
@@ -56,7 +55,7 @@ func main() {
 	}
 	fmt.Print(p)
 
-	res, err := core.Run(p, core.Config{Platform: energy.TwoLevel(2048)})
+	res, err := mhla.Run(context.Background(), p, mhla.WithL1(2048))
 	if err != nil {
 		log.Fatal(err)
 	}

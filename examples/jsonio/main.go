@@ -7,15 +7,14 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 	"path/filepath"
 
 	"mhla/internal/apps"
-	"mhla/internal/core"
-	"mhla/internal/energy"
-	"mhla/internal/modelio"
+	"mhla/pkg/mhla"
 )
 
 func main() {
@@ -31,11 +30,11 @@ func main() {
 		log.Fatal(err)
 	}
 	prog := app.Build(apps.Test)
-	progJSON, err := modelio.EncodeProgram(prog)
+	progJSON, err := mhla.EncodeProgram(prog)
 	if err != nil {
 		log.Fatal(err)
 	}
-	platJSON, err := modelio.EncodePlatform(energy.TwoLevel(4096))
+	platJSON, err := mhla.EncodePlatform(mhla.TwoLevel(4096))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -60,15 +59,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	reloaded, err := modelio.DecodeProgram(progData)
+	reloaded, err := mhla.DecodeProgram(progData)
 	if err != nil {
 		log.Fatal(err)
 	}
-	plat, err := modelio.DecodePlatform(platData)
+	plat, err := mhla.DecodePlatform(platData)
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := core.Run(reloaded, core.Config{Platform: plat})
+	res, err := mhla.Run(context.Background(), reloaded, mhla.WithPlatform(plat))
 	if err != nil {
 		log.Fatal(err)
 	}

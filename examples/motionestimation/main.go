@@ -6,13 +6,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"mhla/internal/apps"
-	"mhla/internal/core"
-	"mhla/internal/energy"
-	"mhla/internal/reuse"
+	"mhla/pkg/mhla"
 )
 
 func main() {
@@ -27,7 +26,7 @@ func main() {
 	// Inspect the reuse chains before assigning: every loop level of
 	// every access offers a copy candidate with its footprint and
 	// transfer volume.
-	an, err := reuse.Analyze(p)
+	an, err := mhla.Analyze(p)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -36,14 +35,14 @@ func main() {
 		for lv := 0; lv <= ch.Depth(); lv++ {
 			c := ch.Candidate(lv)
 			fmt.Printf("  level %d: %v  slide=%dB refetch=%dB\n",
-				lv, c, c.TotalBytes(reuse.Slide), c.TotalBytes(reuse.Refetch))
+				lv, c, c.TotalBytes(mhla.Slide), c.TotalBytes(mhla.Refetch))
 		}
 	}
 
 	// Full flow on a 2 KiB scratchpad: the assignment step picks the
 	// current-block and search-window copies; the TE step prefetches
 	// their block transfers behind the matching loops.
-	res, err := core.Run(p, core.Config{Platform: energy.TwoLevel(2048)})
+	res, err := mhla.Run(context.Background(), p, mhla.WithL1(2048))
 	if err != nil {
 		log.Fatal(err)
 	}

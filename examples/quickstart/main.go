@@ -1,36 +1,38 @@
-// Quickstart: model a small kernel, run the full MHLA+TE flow on a
-// two-level platform, and print the four operating points.
+// Quickstart: model a small kernel with the pkg/mhla facade, run the
+// full MHLA+TE flow on a two-level platform, and print the four
+// operating points.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"mhla/internal/core"
-	"mhla/internal/energy"
-	"mhla/internal/model"
+	"mhla/pkg/mhla"
 )
 
 func main() {
 	// A 64-entry lookup table scanned 32 times: classic data reuse.
-	p := model.NewProgram("quickstart")
+	p := mhla.NewProgram("quickstart")
 	tbl := p.NewInput("tbl", 2, 64)
 	out := p.NewOutput("out", 2, 32)
 	p.AddBlock("scan",
-		model.For("rep", 32,
-			model.For("i", 64,
-				model.Load(tbl, model.Idx("i")),
-				model.Work(2),
+		mhla.For("rep", 32,
+			mhla.For("i", 64,
+				mhla.Load(tbl, mhla.Idx("i")),
+				mhla.Work(2),
 			),
-			model.Store(out, model.Idx("rep")),
+			mhla.Store(out, mhla.Idx("rep")),
 		),
 	)
 	fmt.Print(p)
 
 	// Run the two-step exploration on a 1 KiB scratchpad + SDRAM.
-	res, err := core.Run(p, core.Config{Platform: energy.TwoLevel(1024)})
+	// Options select the platform; engine, objective and policy keep
+	// their defaults (greedy, energy, slide).
+	res, err := mhla.Run(context.Background(), p, mhla.WithL1(1024))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,13 +6,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"mhla/internal/apps"
-	"mhla/internal/assign"
-	"mhla/internal/explore"
-	"mhla/internal/pareto"
+	"mhla/pkg/mhla"
 )
 
 func main() {
@@ -21,15 +20,14 @@ func main() {
 		log.Fatal(err)
 	}
 	sizes := []int64{256, 512, 1024, 2048, 4096, 8192, 16384}
-	sw, err := explore.Run(app.Build(apps.Paper), sizes, assign.DefaultOptions())
+	sw, err := mhla.SweepL1(context.Background(), app.Build(apps.Paper), sizes)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Print(sw)
 
 	fmt.Println("\nPareto frontier of the MHLA+TE points:")
-	front := sw.Frontier()
-	fmt.Print(pareto.Render(front))
+	fmt.Print(mhla.ParetoRender(sw.Frontier()))
 
 	fmt.Println("\nReading the curve: small scratchpads leave traffic off-chip")
 	fmt.Println("(high energy, slow); very large ones cost more per access.")

@@ -1,0 +1,3 @@
+module mhla
+
+go 1.24

@@ -1,6 +1,8 @@
 package assign
 
 import (
+	"context"
+	"math"
 	"sort"
 
 	"mhla/internal/model"
@@ -124,8 +126,9 @@ func chainOptionsFor(plat *platform.Platform, ch *reuse.Chain) []option {
 
 // exactSearch explores the full decision space (array homes x chain
 // selections) by depth-first search with exact capacity pruning and,
-// when prune is true, lower-bound pruning (branch and bound).
-func exactSearch(an *reuse.Analysis, plat *platform.Platform, opts Options, prune bool) *Result {
+// when prune is true, lower-bound pruning (branch and bound). It
+// returns nil if ctx is cancelled before the search finishes.
+func exactSearch(ctx context.Context, an *reuse.Analysis, plat *platform.Platform, opts Options, prune bool) *Result {
 	bg := plat.Background()
 
 	// Decision variables.
@@ -176,16 +179,49 @@ func exactSearch(an *reuse.Analysis, plat *platform.Platform, opts Options, prun
 		suffix[i] = suffix[i+1].plus(minChain[i])
 	}
 
+	engine := Exhaustive
+	if prune {
+		engine = BranchBound
+	}
 	base := contrib{cycles: an.Program.ComputeCycles()}
 	var best *Assignment
 	bestScore := 0.0
 	states := 0
+	nodes := 0
 	complete := true
+	cancelled := false
+
+	// tick runs the periodic bookkeeping shared by both decision
+	// levels: cancellation polling and progress reporting. It returns
+	// false when the search must unwind.
+	tick := func() bool {
+		if cancelled {
+			return false
+		}
+		nodes++
+		if nodes&1023 == 0 {
+			if ctx.Err() != nil {
+				cancelled = true
+				return false
+			}
+			if opts.Progress != nil && nodes&8191 == 0 {
+				score := math.Inf(1)
+				if best != nil {
+					score = bestScore
+				}
+				opts.Progress(Progress{Engine: engine, States: states, BestScore: score})
+			}
+		}
+		return true
+	}
 
 	var decideChain func(idx int, cur *Assignment, acc contrib)
 	var decideArray func(idx int, cur *Assignment, acc contrib)
 
 	decideChain = func(idx int, cur *Assignment, acc contrib) {
+		if !tick() {
+			return
+		}
 		if states > opts.MaxStates {
 			complete = false
 			return
@@ -226,6 +262,9 @@ func exactSearch(an *reuse.Analysis, plat *platform.Platform, opts Options, prun
 	}
 
 	decideArray = func(idx int, cur *Assignment, acc contrib) {
+		if !tick() {
+			return
+		}
 		if states > opts.MaxStates {
 			complete = false
 			return
@@ -255,6 +294,9 @@ func exactSearch(an *reuse.Analysis, plat *platform.Platform, opts Options, prun
 	start.InPlace = opts.InPlace
 	decideArray(0, start, base)
 
+	if cancelled {
+		return nil
+	}
 	if best == nil {
 		// Pathological cap: fall back to the baseline.
 		best = start

@@ -1,6 +1,7 @@
 package assign
 
 import (
+	"context"
 	"sort"
 
 	"mhla/internal/platform"
@@ -21,8 +22,9 @@ type move struct {
 // greedySearch is the steepest-descent heuristic of the MHLA tool:
 // start from the out-of-the-box placement (everything in background
 // memory, no copies) and repeatedly apply the feasible move with the
-// best gain until no move improves the objective.
-func greedySearch(an *reuse.Analysis, plat *platform.Platform, opts Options) *Result {
+// best gain until no move improves the objective. It returns nil if
+// ctx is cancelled before the search converges.
+func greedySearch(ctx context.Context, an *reuse.Analysis, plat *platform.Platform, opts Options) *Result {
 	cur := New(an, plat, opts.Policy)
 	cur.InPlace = opts.InPlace
 	curCost := cur.Evaluate(EvalOptions{})
@@ -35,6 +37,9 @@ func greedySearch(an *reuse.Analysis, plat *platform.Platform, opts Options) *Re
 		bestCrit := 0.0
 		bestKey := ""
 		for _, mv := range enumerateMoves(cur) {
+			if states&63 == 0 && ctx.Err() != nil {
+				return nil
+			}
 			next := cur.Clone()
 			mv.apply(next)
 			if !next.Fits() {
@@ -59,6 +64,9 @@ func greedySearch(an *reuse.Analysis, plat *platform.Platform, opts Options) *Re
 		}
 		cur, curCost = best, bestCost
 		curScore = opts.Objective.Score(curCost)
+		if opts.Progress != nil {
+			opts.Progress(Progress{Engine: Greedy, States: states, Iter: iter + 1, BestScore: curScore})
+		}
 	}
 	return &Result{Assignment: cur, Cost: curCost, States: states, Complete: true}
 }

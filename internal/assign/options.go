@@ -1,6 +1,7 @@
 package assign
 
 import (
+	"context"
 	"fmt"
 
 	"mhla/internal/platform"
@@ -76,6 +77,24 @@ func (e Engine) String() string {
 	}
 }
 
+// Progress is a snapshot of a running search, delivered to the
+// Options.Progress callback from the searching goroutine (callbacks
+// must be fast and must not retain the snapshot's slices).
+type Progress struct {
+	// Engine is the running algorithm.
+	Engine Engine
+	// States counts candidate states evaluated so far.
+	States int
+	// Iter counts completed greedy iterations (0 for exact engines).
+	Iter int
+	// BestScore is the best objective score found so far (objective
+	// units; +Inf until a first complete state exists).
+	BestScore float64
+}
+
+// ProgressFunc receives search progress snapshots.
+type ProgressFunc func(Progress)
+
 // Options configure the assignment search.
 type Options struct {
 	// Policy is the copy transfer policy (Slide exploits
@@ -95,6 +114,17 @@ type Options struct {
 	// MaxGreedyIters caps greedy iterations (a safety net; the search
 	// terminates on its own because cost strictly decreases).
 	MaxGreedyIters int
+	// Progress, when non-nil, receives periodic search snapshots:
+	// after every greedy iteration and every few thousand explored
+	// nodes of the exact engines.
+	Progress ProgressFunc
+}
+
+// IsZero reports whether every option is unset; callers treat the
+// zero value as "use DefaultOptions".
+func (o Options) IsZero() bool {
+	return o.Policy == 0 && o.Objective == 0 && !o.InPlace && o.Engine == 0 &&
+		!o.GainPerByte && o.MaxStates == 0 && o.MaxGreedyIters == 0 && o.Progress == nil
 }
 
 // DefaultOptions returns the configuration used by the experiments:
@@ -131,10 +161,21 @@ type Result struct {
 	Complete bool
 }
 
-// Search runs the assignment step on an analyzed program.
+// Search runs the assignment step on an analyzed program. It is
+// SearchContext with a background context.
 func Search(an *reuse.Analysis, plat *platform.Platform, opts Options) (*Result, error) {
+	return SearchContext(context.Background(), an, plat, opts)
+}
+
+// SearchContext runs the assignment step on an analyzed program,
+// honoring cancellation and deadlines: when ctx is cancelled the
+// engines stop promptly and SearchContext returns ctx.Err().
+func SearchContext(ctx context.Context, an *reuse.Analysis, plat *platform.Platform, opts Options) (*Result, error) {
 	if err := plat.Validate(); err != nil {
 		return nil, fmt.Errorf("assign: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	if opts.MaxGreedyIters <= 0 {
 		opts.MaxGreedyIters = 10_000
@@ -149,13 +190,16 @@ func Search(an *reuse.Analysis, plat *platform.Platform, opts Options) (*Result,
 	var res *Result
 	switch opts.Engine {
 	case Greedy:
-		res = greedySearch(an, plat, opts)
+		res = greedySearch(ctx, an, plat, opts)
 	case BranchBound:
-		res = exactSearch(an, plat, opts, true)
+		res = exactSearch(ctx, an, plat, opts, true)
 	case Exhaustive:
-		res = exactSearch(an, plat, opts, false)
+		res = exactSearch(ctx, an, plat, opts, false)
 	default:
 		return nil, fmt.Errorf("assign: unknown engine %v", opts.Engine)
+	}
+	if res == nil {
+		return nil, ctx.Err()
 	}
 	res.Baseline = baseCost
 	return res, nil

@@ -1,8 +1,9 @@
 // Package core orchestrates the complete MHLA-with-time-extensions
-// flow of the paper and is the public entry point the command-line
-// tools and examples use:
+// flow of the paper. External consumers use the pkg/mhla facade; the
+// direct entry points are:
 //
 //	result, err := core.Run(program, core.Config{Platform: energy.TwoLevel(4096)})
+//	result, err := core.RunContext(ctx, program, cfg) // cancellable
 //
 // The flow is the paper's two-step exploration:
 //
@@ -20,6 +21,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"mhla/internal/assign"
@@ -29,6 +31,51 @@ import (
 	"mhla/internal/sim"
 	"mhla/internal/te"
 )
+
+// Phase names a stage of the flow for progress reporting.
+type Phase string
+
+const (
+	// PhaseAnalyze is the data-reuse analysis.
+	PhaseAnalyze Phase = "analyze"
+	// PhaseAssign is the layer-assignment search (step 1).
+	PhaseAssign Phase = "assign"
+	// PhaseExtend is the time-extension scheduling (step 2).
+	PhaseExtend Phase = "extend"
+	// PhaseEvaluate is the final operating-point evaluation.
+	PhaseEvaluate Phase = "evaluate"
+)
+
+// Progress is a flow progress snapshot. During PhaseAssign the Search
+// field carries the engine's own progress.
+type Progress struct {
+	Phase  Phase
+	Search assign.Progress
+}
+
+// ProgressFunc receives flow progress snapshots. Callbacks run on the
+// flow's goroutine and must be fast.
+type ProgressFunc func(Progress)
+
+// WireSearchProgress chains a flow-level progress callback onto the
+// search options: the engine's snapshots are forwarded as PhaseAssign
+// flow progress after any callback already configured on the options.
+// RunContext applies it internally; facade helpers that drive the
+// assignment layer directly (Search, Partition) use it to get the
+// same semantics.
+func WireSearchProgress(s assign.Options, fn ProgressFunc) assign.Options {
+	if fn == nil {
+		return s
+	}
+	inner := s.Progress
+	s.Progress = func(sp assign.Progress) {
+		if inner != nil {
+			inner(sp)
+		}
+		fn(Progress{Phase: PhaseAssign, Search: sp})
+	}
+	return s
+}
 
 // Config configures a Run.
 type Config struct {
@@ -40,6 +87,9 @@ type Config struct {
 	// DisableTE skips the time-extension step even when a DMA engine
 	// exists (the MHLA+TE point then equals MHLA).
 	DisableTE bool
+	// Progress, when non-nil, is invoked as the flow enters each
+	// phase and with the assignment engine's periodic snapshots.
+	Progress ProgressFunc
 }
 
 // Result is the outcome of the full exploration.
@@ -65,8 +115,16 @@ type Result struct {
 	SearchStates int
 }
 
-// Run executes the full flow on a program.
+// Run executes the full flow on a program. It is RunContext with a
+// background context.
 func Run(p *model.Program, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), p, cfg)
+}
+
+// RunContext executes the full flow on a program, honoring ctx: when
+// it is cancelled mid-flow (including deep inside a long assignment
+// search) RunContext returns promptly with ctx.Err().
+func RunContext(ctx context.Context, p *model.Program, cfg Config) (*Result, error) {
 	if cfg.Platform == nil {
 		return nil, fmt.Errorf("core: no platform configured")
 	}
@@ -77,10 +135,23 @@ func Run(p *model.Program, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	search := cfg.Search
-	if search == (assign.Options{}) {
+	if search.IsZero() {
 		search = assign.DefaultOptions()
 	}
+	enter := func(ph Phase) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(Progress{Phase: ph})
+		}
+		return nil
+	}
+	search = WireSearchProgress(search, cfg.Progress)
 
+	if err := enter(PhaseAnalyze); err != nil {
+		return nil, err
+	}
 	an, err := reuse.Analyze(p)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -88,8 +159,14 @@ func Run(p *model.Program, cfg Config) (*Result, error) {
 	res := &Result{Program: p, Platform: cfg.Platform, Analysis: an}
 
 	// Step 1: assignment.
-	sr, err := assign.Search(an, cfg.Platform, search)
+	if err := enter(PhaseAssign); err != nil {
+		return nil, err
+	}
+	sr, err := assign.SearchContext(ctx, an, cfg.Platform, search)
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	res.Assignment = sr.Assignment
@@ -98,6 +175,9 @@ func Run(p *model.Program, cfg Config) (*Result, error) {
 	res.SearchStates = sr.States
 
 	// Step 2: time extensions.
+	if err := enter(PhaseExtend); err != nil {
+		return nil, err
+	}
 	if cfg.DisableTE {
 		res.Plan = &te.Plan{Assignment: sr.Assignment, Applicable: false}
 		res.TE = res.MHLA
@@ -115,6 +195,9 @@ func Run(p *model.Program, cfg Config) (*Result, error) {
 	}
 
 	// Ideal: every block transfer hidden.
+	if err := enter(PhaseEvaluate); err != nil {
+		return nil, err
+	}
 	res.Ideal = sr.Assignment.Evaluate(assign.EvalOptions{Ideal: true})
 	return res, nil
 }

@@ -7,6 +7,7 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 
 	"mhla/internal/assign"
@@ -44,15 +45,34 @@ type Sweep struct {
 
 // Run sweeps the given on-chip sizes for one program using the
 // two-level experiment platform. A zero options value means
-// assign.DefaultOptions().
+// assign.DefaultOptions(). It is RunContext with a background
+// context.
 func Run(p *model.Program, sizes []int64, opts assign.Options) (*Sweep, error) {
+	return RunContext(context.Background(), p, sizes, opts)
+}
+
+// RunContext sweeps the given on-chip sizes for one program, honoring
+// cancellation between and inside sweep points: when ctx is cancelled
+// it returns promptly with ctx.Err().
+func RunContext(ctx context.Context, p *model.Program, sizes []int64, opts assign.Options) (*Sweep, error) {
+	return RunFlow(ctx, p, sizes, core.Config{Search: opts})
+}
+
+// RunFlow is RunContext with the full flow configuration (progress
+// callbacks, DisableTE, ...); cfg.Platform is ignored — the sweep
+// constructs the two-level platform per size.
+func RunFlow(ctx context.Context, p *model.Program, sizes []int64, cfg core.Config) (*Sweep, error) {
 	if len(sizes) == 0 {
 		sizes = DefaultSizes()
 	}
 	sw := &Sweep{Program: p.Name}
 	for _, l1 := range sizes {
-		res, err := core.Run(p, core.Config{Platform: energy.TwoLevel(l1), Search: opts})
+		cfg.Platform = energy.TwoLevel(l1)
+		res, err := core.RunContext(ctx, p, cfg)
 		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			return nil, fmt.Errorf("explore: size %d: %w", l1, err)
 		}
 		sw.Points = append(sw.Points, Point{L1: l1, Result: res})

@@ -1,0 +1,200 @@
+// Package mhla is the public facade of the MHLA reproduction: the
+// complete layer-assignment + time-extension tool flow of
+//
+//	M. Dasygenis, E. Brockmeyer, B. Durinck, F. Catthoor, D. Soudris,
+//	A. Thanailakis. "A Memory Hierarchical Layer Assigning and
+//	Prefetching Technique to Overcome the Memory Performance/Energy
+//	Bottleneck." DATE 2005.
+//
+// behind one import. The entry point is Run with functional options:
+//
+//	res, err := mhla.Run(ctx, prog,
+//		mhla.WithPlatform(mhla.TwoLevel(4096)),
+//		mhla.WithObjective(mhla.Energy),
+//		mhla.WithEngine(mhla.BnB),
+//	)
+//
+// Run honors ctx: cancellation or a deadline aborts even a long
+// branch-and-bound search promptly, and WithProgress streams search
+// snapshots while the flow runs. For batch work — many applications,
+// L1 sizes and objectives at once — Explorer fans a job list out over
+// a worker pool with deterministic result ordering; Grid expands an
+// app x size x objective cross product into such a job list. The
+// rest of the package re-exports the stable model-building, platform,
+// analysis, scheduling, simulation and reporting APIs; DESIGN.md maps
+// them to the internal packages.
+package mhla
+
+import (
+	"context"
+	"fmt"
+
+	"mhla/internal/assign"
+	"mhla/internal/core"
+	"mhla/internal/energy"
+	"mhla/internal/platform"
+)
+
+// DefaultL1 is the on-chip scratchpad capacity (bytes) Run assumes
+// when no platform option is given: a 4 KiB L1 over SDRAM, the
+// mid-range point of the paper's exploration.
+const DefaultL1 = 4096
+
+// config accumulates the functional options into the internal flow
+// configuration.
+type config struct {
+	platform  *platform.Platform
+	search    assign.Options
+	disableTE bool
+	progress  core.ProgressFunc
+}
+
+func newConfig(opts []Option) *config {
+	cfg := &config{search: assign.DefaultOptions()}
+	for _, o := range opts {
+		o(cfg)
+	}
+	if cfg.platform == nil {
+		cfg.platform = energy.TwoLevel(DefaultL1)
+	}
+	return cfg
+}
+
+func (c *config) coreConfig() core.Config {
+	return core.Config{
+		Platform:  c.platform,
+		Search:    c.search,
+		DisableTE: c.disableTE,
+		Progress:  c.progress,
+	}
+}
+
+// Option configures a Run, Sweep, Search or Explorer job.
+type Option func(*config)
+
+// WithPlatform targets the given architecture. The default is
+// TwoLevel(DefaultL1).
+func WithPlatform(p *Platform) Option {
+	return func(c *config) { c.platform = p }
+}
+
+// WithL1 targets the standard two-level experiment platform (L1
+// scratchpad of the given byte capacity over SDRAM, with DMA).
+func WithL1(bytes int64) Option {
+	return func(c *config) { c.platform = energy.TwoLevel(bytes) }
+}
+
+// WithObjective selects the quantity the assignment search minimizes:
+// Energy (default), Time or EDP.
+func WithObjective(o Objective) Option {
+	return func(c *config) { c.search.Objective = o }
+}
+
+// WithEngine selects the search algorithm: Greedy (default), BnB or
+// Exhaustive.
+func WithEngine(e Engine) Option {
+	return func(c *config) { c.search.Engine = e }
+}
+
+// WithPolicy selects the copy transfer policy: Slide (default,
+// exploits inter-iteration reuse) or Refetch (the ablation baseline).
+func WithPolicy(p Policy) Option {
+	return func(c *config) { c.search.Policy = p }
+}
+
+// WithoutTE skips the time-extension step; the MHLA+TE operating
+// point then equals MHLA.
+func WithoutTE() Option {
+	return func(c *config) { c.disableTE = true }
+}
+
+// WithoutInPlace disables lifetime-aware (in-place) capacity
+// estimation, the A1 ablation.
+func WithoutInPlace() Option {
+	return func(c *config) { c.search.InPlace = false }
+}
+
+// WithAbsoluteGain makes the greedy engine rank moves by absolute
+// gain instead of gain per on-chip byte, the A2-style ablation of the
+// MHLA tool's ranking.
+func WithAbsoluteGain() Option {
+	return func(c *config) { c.search.GainPerByte = false }
+}
+
+// WithMaxStates caps the states the exact engines explore before
+// giving up on optimality (default 500000).
+func WithMaxStates(n int) Option {
+	return func(c *config) { c.search.MaxStates = n }
+}
+
+// WithProgress streams flow progress: one callback as each phase
+// starts, plus the search engine's periodic snapshots. The callback
+// runs on the flow's goroutine and must be fast.
+func WithProgress(fn ProgressFunc) Option {
+	return func(c *config) { c.progress = fn }
+}
+
+// Run executes the full two-step MHLA+TE flow on a program and
+// evaluates the four operating points of the paper's figures. It
+// returns ctx.Err() promptly when ctx is cancelled, even inside a
+// long assignment search.
+func Run(ctx context.Context, p *Program, opts ...Option) (*Result, error) {
+	return core.RunContext(ctx, p, newConfig(opts).coreConfig())
+}
+
+// Search runs the assignment step alone on an analyzed program (step
+// 1, no time extensions). A nil plat falls back to the platform
+// options (WithPlatform/WithL1, default TwoLevel(DefaultL1));
+// WithProgress streams the engine's snapshots.
+func Search(ctx context.Context, an *Analysis, plat *Platform, opts ...Option) (*SearchResult, error) {
+	cfg := newConfig(opts)
+	if plat == nil {
+		plat = cfg.platform
+	}
+	return assign.SearchContext(ctx, an, plat, cfg.assignOptions())
+}
+
+// ParseObjective parses an objective name: "energy", "time" or "edp".
+func ParseObjective(s string) (Objective, error) {
+	switch s {
+	case "energy":
+		return Energy, nil
+	case "time":
+		return Time, nil
+	case "edp":
+		return EDP, nil
+	}
+	return 0, fmt.Errorf("mhla: unknown objective %q (want energy, time or edp)", s)
+}
+
+// ParseEngine parses an engine name: "greedy", "bnb" or "exhaustive".
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "greedy":
+		return Greedy, nil
+	case "bnb":
+		return BnB, nil
+	case "exhaustive":
+		return Exhaustive, nil
+	}
+	return 0, fmt.Errorf("mhla: unknown engine %q (want greedy, bnb or exhaustive)", s)
+}
+
+// ParsePolicy parses a transfer policy name: "slide" or "refetch".
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "slide":
+		return Slide, nil
+	case "refetch":
+		return Refetch, nil
+	}
+	return 0, fmt.Errorf("mhla: unknown policy %q (want slide or refetch)", s)
+}
+
+// assignOptions exposes the accumulated assignment options for the
+// helpers (Search, Partition) that drive the assignment layer
+// directly, wiring the flow-level progress callback into the engine
+// the way core.RunContext does.
+func (c *config) assignOptions() assign.Options {
+	return core.WireSearchProgress(c.search, c.progress)
+}

@@ -1,0 +1,62 @@
+package mhla
+
+import (
+	"mhla/internal/model"
+	"mhla/internal/modelio"
+	"mhla/internal/transform"
+)
+
+// NewProgram creates an empty application model. Arrays and blocks
+// are added through the Program methods (NewInput, NewOutput,
+// NewArray, AddBlock).
+func NewProgram(name string) *Program { return model.NewProgram(name) }
+
+// For builds a loop of the given trip count around a body.
+func For(v string, trip int, body ...Node) Node { return model.For(v, trip, body...) }
+
+// Load builds a read access to an array at an affine index.
+func Load(a *Array, index ...Expr) Node { return model.Load(a, index...) }
+
+// Store builds a write access to an array at an affine index.
+func Store(a *Array, index ...Expr) Node { return model.Store(a, index...) }
+
+// Work builds a pure-compute statement of the given cycle cost.
+func Work(cycles int64) Node { return model.Work(cycles) }
+
+// Idx is the index expression for a plain loop iterator.
+func Idx(v string) Expr { return model.Idx(v) }
+
+// IdxC is the index expression coef*v.
+func IdxC(coef int, v string) Expr { return model.IdxC(coef, v) }
+
+// ConstExpr is a constant index expression.
+func ConstExpr(c int) Expr { return model.ConstExpr(c) }
+
+// EncodeProgram serializes a program to the JSON interchange format.
+func EncodeProgram(p *Program) ([]byte, error) { return modelio.EncodeProgram(p) }
+
+// DecodeProgram parses a program from the JSON interchange format.
+func DecodeProgram(data []byte) (*Program, error) { return modelio.DecodeProgram(data) }
+
+// EncodePlatform serializes a platform to the JSON interchange format.
+func EncodePlatform(p *Platform) ([]byte, error) { return modelio.EncodePlatform(p) }
+
+// DecodePlatform parses a platform from the JSON interchange format.
+func DecodePlatform(data []byte) (*Platform, error) { return modelio.DecodePlatform(data) }
+
+// Tile strip-mines the named loop of a block by the given factor
+// (loop blocking), a DTSE pre-step that creates reuse for MHLA.
+func Tile(p *Program, block, loopVar string, factor int) (*Program, error) {
+	return transform.Tile(p, block, loopVar, factor)
+}
+
+// Interchange hoists the named loop of a block outward by one level.
+func Interchange(p *Program, block, loopVar string) (*Program, error) {
+	return transform.Interchange(p, block, loopVar)
+}
+
+// Distribute splits the named loop of a block into one loop per body
+// statement (loop fission).
+func Distribute(p *Program, block, loopVar string) (*Program, error) {
+	return transform.Distribute(p, block, loopVar)
+}

@@ -1,0 +1,36 @@
+package mhla
+
+import (
+	"mhla/internal/energy"
+	"mhla/internal/platform"
+)
+
+// TwoLevel is the standard experiment platform of the paper's
+// figures: an L1 scratchpad of the given byte capacity over SDRAM,
+// with a DMA engine for block transfers.
+func TwoLevel(l1 int64) *Platform { return energy.TwoLevel(l1) }
+
+// TwoLevelNoDMA is TwoLevel without the DMA engine; time extensions
+// are then not applicable.
+func TwoLevelNoDMA(l1 int64) *Platform { return energy.TwoLevelNoDMA(l1) }
+
+// ThreeLevel is a deeper hierarchy: L1 and L2 scratchpads of the
+// given byte capacities over SDRAM, with DMA.
+func ThreeLevel(l1, l2 int64) *Platform { return energy.ThreeLevel(l1, l2) }
+
+// SRAMLayer models an on-chip SRAM layer of the given capacity with
+// the energy model's per-access costs.
+func SRAMLayer(name string, capacity int64) Layer { return energy.SRAMLayer(name, capacity) }
+
+// SDRAMLayer models the off-chip background memory.
+func SDRAMLayer() Layer { return energy.SDRAMLayer() }
+
+// DefaultDMA is the block-transfer engine of the experiment
+// platforms.
+func DefaultDMA() *DMA { return energy.DefaultDMA() }
+
+// NewPlatform assembles a platform from CPU-nearest-first layers and
+// an optional DMA engine.
+func NewPlatform(name string, layers []Layer, dma *DMA) *Platform {
+	return &platform.Platform{Name: name, Layers: layers, DMA: dma}
+}

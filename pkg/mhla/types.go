@@ -1,0 +1,144 @@
+package mhla
+
+import (
+	"mhla/internal/assign"
+	"mhla/internal/core"
+	"mhla/internal/explore"
+	"mhla/internal/layout"
+	"mhla/internal/model"
+	"mhla/internal/multitask"
+	"mhla/internal/pareto"
+	"mhla/internal/platform"
+	"mhla/internal/report"
+	"mhla/internal/reuse"
+	"mhla/internal/te"
+)
+
+// The stable types of the flow, re-exported as aliases so values
+// cross the facade boundary unchanged (methods included).
+type (
+	// Program is an application model: arrays plus top-level blocks
+	// of loop nests with affine accesses.
+	Program = model.Program
+	// Array is one array of a program.
+	Array = model.Array
+	// Block is one top-level block (phase) of a program.
+	Block = model.Block
+	// Node is a statement of a loop body (Loop, Access or Compute).
+	Node = model.Node
+	// Expr is an affine index expression.
+	Expr = model.Expr
+
+	// Platform is the target architecture: memory layers plus an
+	// optional DMA engine.
+	Platform = platform.Platform
+	// Layer is one memory layer of a platform.
+	Layer = platform.Layer
+	// DMA describes a platform's block-transfer engine.
+	DMA = platform.DMA
+
+	// Analysis is the data-reuse analysis: the copy-candidate chains
+	// of a program.
+	Analysis = reuse.Analysis
+	// Chain is one reuse chain (an array's copy-candidate hierarchy
+	// for one access group).
+	Chain = reuse.Chain
+	// Policy is the copy transfer policy (Slide or Refetch).
+	Policy = reuse.Policy
+
+	// Assignment is the MHLA step-1 decision: array homes plus
+	// instantiated copy candidates per layer.
+	Assignment = assign.Assignment
+	// Cost is the evaluated performance and energy of an assignment.
+	Cost = assign.Cost
+	// EvalOptions select the assignment evaluation mode.
+	EvalOptions = assign.EvalOptions
+	// StreamKey identifies one block-transfer stream.
+	StreamKey = assign.StreamKey
+	// Objective selects what the search minimizes.
+	Objective = assign.Objective
+	// Engine selects the search algorithm.
+	Engine = assign.Engine
+	// SearchResult is the outcome of the assignment step alone.
+	SearchResult = assign.Result
+	// SearchProgress is one snapshot of a running assignment search.
+	SearchProgress = assign.Progress
+
+	// Plan is the time-extension step-2 decision: the per-stream
+	// prefetch schedule of the paper's Figure 1.
+	Plan = te.Plan
+
+	// Result is the outcome of the full flow: the assignment, the
+	// plan, and the four operating points Original, MHLA, TE, Ideal.
+	Result = core.Result
+	// Gains are a result's operating points normalized against the
+	// Original point, the way the paper's figures report them.
+	Gains = core.Gains
+	// Phase names a stage of the flow for progress reporting.
+	Phase = core.Phase
+	// Progress is a flow progress snapshot.
+	Progress = core.Progress
+	// ProgressFunc receives flow progress snapshots.
+	ProgressFunc = core.ProgressFunc
+
+	// Sweep is an L1-size trade-off exploration of one program.
+	Sweep = explore.Sweep
+	// SweepPoint is one evaluated size of a sweep.
+	SweepPoint = explore.Point
+
+	// ParetoPoint is one candidate of a trade-off frontier.
+	ParetoPoint = pareto.Point
+
+	// AppResult pairs an application name with its flow result for
+	// the figure renderers.
+	AppResult = report.AppResult
+
+	// LayerMap is the concrete address layout of one memory layer.
+	LayerMap = layout.LayerMap
+
+	// Task is one application of a multi-task partitioning problem.
+	Task = multitask.Task
+	// MultiTaskPlan is a scratchpad partitioning across tasks.
+	MultiTaskPlan = multitask.Plan
+)
+
+// The flow phases reported through WithProgress.
+const (
+	PhaseAnalyze  = core.PhaseAnalyze
+	PhaseAssign   = core.PhaseAssign
+	PhaseExtend   = core.PhaseExtend
+	PhaseEvaluate = core.PhaseEvaluate
+)
+
+// Search objectives.
+const (
+	// Energy minimizes memory-subsystem energy (the primary MHLA
+	// objective; performance improves alongside).
+	Energy = assign.MinEnergy
+	// Time minimizes execution cycles.
+	Time = assign.MinTime
+	// EDP minimizes the energy-delay product.
+	EDP = assign.MinEDP
+)
+
+// Search engines.
+const (
+	// Greedy is the steepest-descent heuristic of the MHLA tool.
+	Greedy = assign.Greedy
+	// BnB explores the full decision space with lower-bound pruning;
+	// optimal for small/medium problems.
+	BnB = assign.BranchBound
+	// Exhaustive explores the full decision space without pruning; a
+	// reference for tests.
+	Exhaustive = assign.Exhaustive
+)
+
+// Copy transfer policies.
+const (
+	// Slide retains still-valid elements across copy updates
+	// (exploits inter-iteration reuse).
+	Slide = reuse.Slide
+	// Refetch transfers the full box on every update (the ablation
+	// baseline).
+	Refetch = reuse.Refetch
+)
