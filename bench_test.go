@@ -19,9 +19,11 @@ package mhla_test
 //	go test -bench=. -benchmem
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"mhla/internal/apps"
+	"mhla/internal/progen"
 	"mhla/pkg/mhla"
 )
 
@@ -235,6 +237,49 @@ func BenchmarkAblationSearch(b *testing.B) {
 			b.ReportMetric(greedy.Cost.Energy/optimal.Cost.Energy, "greedy_vs_opt_x")
 			b.ReportMetric(float64(greedy.States), "greedy_states")
 			b.ReportMetric(float64(optimal.States), "bnb_states")
+		})
+	}
+}
+
+// BenchmarkParallelBnB measures the parallel branch-and-bound engine
+// at 1, 2, 4 and 8 workers on the heaviest scenario of the scaled-up
+// progen family (seed 7: a ~7M-leaf decision space). Results are
+// byte-identical across worker counts by construction; the benchmark
+// verifies that on every iteration and reports the states explored.
+// Wall-clock speedup over workers=1 requires actual cores — on a
+// single-CPU host the worker counts time-slice and tie. Measured
+// numbers are recorded in BENCH_PARALLEL_BNB.json.
+func BenchmarkParallelBnB(b *testing.B) {
+	cfg := progen.Config{MaxArrays: 4, MaxBlocks: 3, MaxNests: 3, MaxAccesses: 4, MaxSpace: 40_000_000}
+	sc := cfg.Generate(7)
+	an, err := mhla.Analyze(sc.Program)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ref *mhla.SearchResult
+	for _, w := range []int{1, 2, 4, 8} {
+		w := w
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var res *mhla.SearchResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = mhla.Search(context.Background(), an, sc.Platform,
+					mhla.WithEngine(mhla.BnB), mhla.WithWorkers(w),
+					mhla.WithObjective(sc.Options.Objective),
+					mhla.WithPolicy(sc.Options.Policy),
+					mhla.WithMaxStates(40_000_000))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if w == 1 {
+				ref = res
+			} else if ref != nil && (res.States != ref.States ||
+				res.Cost.Cycles != ref.Cost.Cycles || res.Cost.Energy != ref.Cost.Energy) {
+				b.Fatalf("workers=%d result diverged from workers=1", w)
+			}
+			b.ReportMetric(float64(res.States), "bnb_states")
+			b.ReportMetric(float64(sc.Space), "space_leaves")
 		})
 	}
 }

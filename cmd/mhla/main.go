@@ -40,6 +40,7 @@ func main() {
 		scale     = flag.String("scale", "paper", "workload scale: paper or test")
 		objective = flag.String("objective", "energy", "search objective: energy, time or edp")
 		engine    = flag.String("engine", "greedy", "search engine: greedy, bnb or exhaustive")
+		workers   = flag.Int("workers", 0, "worker goroutines for the exact engines (0 = GOMAXPROCS; results are identical at any count)")
 		policy    = flag.String("policy", "slide", "copy transfer policy: slide or refetch")
 		noTE      = flag.Bool("no-te", false, "skip the time-extension step")
 		noDMA     = flag.Bool("no-dma", false, "platform without a DMA engine (TE not applicable)")
@@ -122,6 +123,7 @@ func main() {
 		mhla.WithObjective(obj),
 		mhla.WithEngine(eng),
 		mhla.WithPolicy(pol),
+		mhla.WithWorkers(*workers),
 	}
 	if *noTE {
 		opts = append(opts, mhla.WithoutTE())

@@ -3,7 +3,10 @@ package assign
 import (
 	"context"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"mhla/internal/model"
 	"mhla/internal/platform"
@@ -124,41 +127,111 @@ func chainOptionsFor(plat *platform.Platform, ch *reuse.Chain) []option {
 	return opts
 }
 
-// exactSearch explores the full decision space (array homes x chain
-// selections) by depth-first search with exact capacity pruning and,
-// when prune is true, lower-bound pruning (branch and bound). It
-// returns nil if ctx is cancelled before the search finishes.
-func exactSearch(ctx context.Context, an *reuse.Analysis, plat *platform.Platform, opts Options, prune bool) *Result {
-	bg := plat.Background()
+// expandTargetTasks is the number of independent subtree roots the
+// exact engines split the decision tree into. It is a constant — not
+// a function of Options.Workers — so the task decomposition, and with
+// it every per-task search, is identical at every worker count.
+const expandTargetTasks = 32
 
-	// Decision variables.
-	arrays := append([]*model.Array(nil), an.Program.Arrays...)
-	sort.Slice(arrays, func(i, j int) bool { return arrays[i].Name < arrays[j].Name })
-	arrayOpts := make([][]int, len(arrays))
-	for i, arr := range arrays {
-		homes := []int{bg}
+// node is one position of the decision tree: depth decisions taken,
+// cur the assignment built so far, acc its exact accumulated cost
+// contribution. Assignments are shared down the tree until a decision
+// changes them (decisions always clone before mutating), so nodes are
+// safe to hand to concurrent workers.
+type node struct {
+	depth int
+	cur   *Assignment
+	acc   contrib
+}
+
+// space holds the immutable decision tables of one exact search,
+// shared read-only by all workers, plus the small amount of shared
+// mutable state (cancellation flag, progress counters, the atomic
+// incumbent).
+type space struct {
+	ctx    context.Context
+	plat   *platform.Platform
+	opts   Options
+	prune  bool
+	engine Engine
+	bg     int
+
+	// Decision variables, in the fixed search order: array homes
+	// first (arrays sorted by name), then one selection per chain (in
+	// analysis order).
+	arrays    []*model.Array
+	arrayOpts [][]int
+	chains    []*reuse.Chain
+	chainOpts [][]option
+
+	// suffix[i] is an optimistic lower bound on the total
+	// contribution of chains i.. (undecided decisions).
+	suffix []contrib
+	base   contrib
+	start  *Assignment
+
+	// Greedy-seeded incumbent (branch and bound only). The seed score
+	// is folded from the same per-decision contributions, in the same
+	// order, as the DFS accumulates leaf scores, so the two are
+	// bit-comparable.
+	seed      *Assignment
+	seedScore float64
+	hasSeed   bool
+
+	// Shared worker state. bestBits carries the global incumbent
+	// score (float bits, lowered by CAS) for progress reporting.
+	// Pruning deliberately uses only the deterministic bounds — the
+	// greedy seed plus each task's own incumbent — never the timing
+	// dependent global one, so the explored tree and the returned
+	// Result are byte-identical at every worker count.
+	cancelled  atomic.Bool
+	ticks      atomic.Int64
+	leaves     atomic.Int64
+	bestBits   atomic.Uint64
+	progressMu sync.Mutex
+}
+
+// newSpace precomputes the decision tables of an exact search.
+func newSpace(ctx context.Context, an *reuse.Analysis, plat *platform.Platform, opts Options, prune bool) *space {
+	s := &space{
+		ctx:    ctx,
+		plat:   plat,
+		opts:   opts,
+		prune:  prune,
+		engine: Exhaustive,
+		bg:     plat.Background(),
+	}
+	if prune {
+		s.engine = BranchBound
+	}
+
+	s.arrays = append([]*model.Array(nil), an.Program.Arrays...)
+	sort.Slice(s.arrays, func(i, j int) bool { return s.arrays[i].Name < s.arrays[j].Name })
+	s.arrayOpts = make([][]int, len(s.arrays))
+	for i, arr := range s.arrays {
+		homes := []int{s.bg}
 		for _, ly := range plat.OnChipLayers() {
 			if arr.Bytes() <= plat.Layers[ly].Capacity {
 				homes = append(homes, ly)
 			}
 		}
-		arrayOpts[i] = homes
+		s.arrayOpts[i] = homes
 	}
-	chains := an.Chains
-	chainOpts := make([][]option, len(chains))
-	for i, ch := range chains {
-		chainOpts[i] = chainOptionsFor(plat, ch)
+	s.chains = an.Chains
+	s.chainOpts = make([][]option, len(s.chains))
+	for i, ch := range s.chains {
+		s.chainOpts[i] = chainOptionsFor(plat, ch)
 	}
 
 	// Per-chain optimistic contributions (min over homes and options),
 	// used as lower bounds for undecided chains.
-	minChain := make([]contrib, len(chains))
-	for i, ch := range chains {
+	minChain := make([]contrib, len(s.chains))
+	for i, ch := range s.chains {
 		best := contrib{cycles: 1 << 62, energy: 1e300}
-		homes := []int{bg}
+		homes := []int{s.bg}
 		homes = append(homes, plat.OnChipLayers()...)
 		for _, home := range homes {
-			for _, op := range chainOpts[i] {
+			for _, op := range s.chainOpts[i] {
 				if len(op.layers) > 0 && op.layers[0] >= home {
 					continue
 				}
@@ -173,134 +246,363 @@ func exactSearch(ctx context.Context, an *reuse.Analysis, plat *platform.Platfor
 		}
 		minChain[i] = best
 	}
-	// Suffix sums of the optimistic chain contributions.
-	suffix := make([]contrib, len(chains)+1)
-	for i := len(chains) - 1; i >= 0; i-- {
-		suffix[i] = suffix[i+1].plus(minChain[i])
+	s.suffix = make([]contrib, len(s.chains)+1)
+	for i := len(s.chains) - 1; i >= 0; i-- {
+		s.suffix[i] = s.suffix[i+1].plus(minChain[i])
 	}
 
-	engine := Exhaustive
-	if prune {
-		engine = BranchBound
-	}
-	base := contrib{cycles: an.Program.ComputeCycles()}
-	var best *Assignment
-	bestScore := 0.0
-	states := 0
-	nodes := 0
-	complete := true
-	cancelled := false
+	s.base = contrib{cycles: an.Program.ComputeCycles()}
+	s.start = New(an, plat, opts.Policy)
+	s.start.InPlace = opts.InPlace
+	s.seedScore = math.Inf(1)
+	s.bestBits.Store(math.Float64bits(math.Inf(1)))
+	return s
+}
 
-	// tick runs the periodic bookkeeping shared by both decision
-	// levels: cancellation polling and progress reporting. It returns
-	// false when the search must unwind.
-	tick := func() bool {
-		if cancelled {
+// levels is the total number of decisions of a complete assignment.
+func (s *space) levels() int { return len(s.arrays) + len(s.chains) }
+
+// suffixAt returns the optimistic bound on everything undecided at
+// the given depth. While array homes are still open all chains are
+// undecided.
+func (s *space) suffixAt(depth int) contrib {
+	if depth <= len(s.arrays) {
+		return s.suffix[0]
+	}
+	return s.suffix[depth-len(s.arrays)]
+}
+
+// seedIncumbent runs the greedy engine and installs its assignment as
+// the initial branch-and-bound incumbent, so every subtree task starts
+// with a strong deterministic bound (this replaces cross-task bound
+// sharing, which would make the explored tree depend on scheduling).
+// It reports false when greedy was cancelled or — defensively — when
+// its result does not map onto the decision tables.
+func (s *space) seedIncumbent(an *reuse.Analysis) bool {
+	gopts := s.opts
+	gopts.Progress = nil
+	gr := greedySearch(s.ctx, an, s.plat, gopts)
+	if gr == nil {
+		return false
+	}
+	a := gr.Assignment
+	acc := s.base
+	for i, arr := range s.arrays {
+		home := a.ArrayHome[arr.Name]
+		found := false
+		for _, h := range s.arrayOpts[i] {
+			if h == home {
+				found = true
+				break
+			}
+		}
+		if !found {
 			return false
 		}
-		nodes++
-		if nodes&1023 == 0 {
-			if ctx.Err() != nil {
-				cancelled = true
-				return false
-			}
-			if opts.Progress != nil && nodes&8191 == 0 {
-				score := math.Inf(1)
-				if best != nil {
-					score = bestScore
-				}
-				opts.Progress(Progress{Engine: engine, States: states, BestScore: score})
-			}
-		}
-		return true
+		acc = acc.plus(arrayContrib(s.plat, arr, home))
 	}
+	for i, ch := range s.chains {
+		var lv, ly []int
+		if ca := a.Chains[ch.ID]; ca != nil {
+			lv, ly = ca.Levels, ca.Layers
+		}
+		home := a.ArrayHome[ch.Array.Name]
+		if len(ly) > 0 && ly[0] >= home {
+			return false
+		}
+		if !hasOption(s.chainOpts[i], lv, ly) {
+			return false
+		}
+		acc = acc.plus(chainContrib(s.plat, s.opts.Policy, ch, home, lv, ly))
+	}
+	s.seed = a
+	s.seedScore = s.opts.Objective.contribScore(acc)
+	s.hasSeed = true
+	s.publishBest(s.seedScore)
+	return true
+}
 
-	var decideChain func(idx int, cur *Assignment, acc contrib)
-	var decideArray func(idx int, cur *Assignment, acc contrib)
-
-	decideChain = func(idx int, cur *Assignment, acc contrib) {
-		if !tick() {
-			return
-		}
-		if states > opts.MaxStates {
-			complete = false
-			return
-		}
-		if prune && best != nil && opts.Objective.contribScore(acc.plus(suffix[idx])) >= bestScore {
-			return
-		}
-		if idx == len(chains) {
-			states++
-			score := opts.Objective.contribScore(acc)
-			if best == nil || score < bestScore {
-				best = cur.Clone()
-				bestScore = score
-			}
-			return
-		}
-		ch := chains[idx]
-		home := cur.ArrayHome[ch.Array.Name]
-		for _, op := range chainOpts[idx] {
-			if len(op.layers) > 0 && op.layers[0] >= home {
-				continue
-			}
-			next := cur
-			if len(op.levels) > 0 {
-				next = cur.Clone()
-				next.Chains[ch.ID] = &ChainAssign{
-					Chain:  ch,
-					Levels: append([]int(nil), op.levels...),
-					Layers: append([]int(nil), op.layers...),
-				}
-				if !next.Fits() {
-					continue
-				}
-			}
-			c := chainContrib(plat, opts.Policy, ch, home, op.levels, op.layers)
-			decideChain(idx+1, next, acc.plus(c))
+// hasOption reports whether the selection appears among the chain's
+// enumerated options.
+func hasOption(opts []option, levels, layers []int) bool {
+	for _, op := range opts {
+		if equalInts(op.levels, levels) && equalInts(op.layers, layers) {
+			return true
 		}
 	}
+	return false
+}
 
-	decideArray = func(idx int, cur *Assignment, acc contrib) {
-		if !tick() {
-			return
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
 		}
-		if states > opts.MaxStates {
-			complete = false
-			return
-		}
-		if prune && best != nil && opts.Objective.contribScore(acc.plus(suffix[0])) >= bestScore {
-			return
-		}
-		if idx == len(arrays) {
-			decideChain(0, cur, acc)
-			return
-		}
-		arr := arrays[idx]
-		for _, home := range arrayOpts[idx] {
-			next := cur
-			if home != bg {
-				next = cur.Clone()
+	}
+	return true
+}
+
+// children enumerates the feasible decisions at n in deterministic
+// order and calls emit for each resulting child.
+func (s *space) children(n node, emit func(node)) {
+	if n.depth < len(s.arrays) {
+		arr := s.arrays[n.depth]
+		for _, home := range s.arrayOpts[n.depth] {
+			next := n.cur
+			if home != s.bg {
+				next = n.cur.Clone()
 				next.SetHome(arr.Name, home)
 				if !next.Fits() {
 					continue
 				}
 			}
-			decideArray(idx+1, next, acc.plus(arrayContrib(plat, arr, home)))
+			emit(node{depth: n.depth + 1, cur: next, acc: n.acc.plus(arrayContrib(s.plat, arr, home))})
+		}
+		return
+	}
+	ci := n.depth - len(s.arrays)
+	ch := s.chains[ci]
+	home := n.cur.ArrayHome[ch.Array.Name]
+	for _, op := range s.chainOpts[ci] {
+		if len(op.layers) > 0 && op.layers[0] >= home {
+			continue
+		}
+		next := n.cur
+		if len(op.levels) > 0 {
+			next = n.cur.Clone()
+			next.Chains[ch.ID] = &ChainAssign{
+				Chain:  ch,
+				Levels: append([]int(nil), op.levels...),
+				Layers: append([]int(nil), op.layers...),
+			}
+			if !next.Fits() {
+				continue
+			}
+		}
+		emit(node{depth: n.depth + 1, cur: next, acc: n.acc.plus(chainContrib(s.plat, s.opts.Policy, ch, home, op.levels, op.layers))})
+	}
+}
+
+// pruneSubtree reports whether the subtree with the given optimistic
+// bound cannot improve on the incumbent score. The comparison leaves
+// a small relative slack: the bound folds the suffix contributions in
+// a different order than leaf scores fold theirs, so it can exceed
+// the true subtree minimum by a few ulps, and pruning on a bare
+// bound > best would then discard an optimal (or tied) leaf and break
+// the exact agreement with the exhaustive engine. With the slack,
+// subtrees holding a tied leaf survive too; the tied leaves are then
+// rejected by the strict improvement rule at evaluation, which keeps
+// the lexicographically-first tie-break intact. The slack is a
+// deterministic function of the incumbent score, so the explored tree
+// stays byte-identical at every worker count.
+func (s *space) pruneSubtree(bound, bestScore float64) bool {
+	if math.IsInf(bestScore, 1) {
+		return false
+	}
+	return bound > bestScore+1e-9*(1+math.Abs(bestScore))
+}
+
+// expandRoots splits the decision tree into independent subtree roots
+// by breadth-first expansion of whole decision levels until at least
+// expandTargetTasks roots exist or the tree is fully expanded. The
+// expansion does not depend on the worker count, and the only bound
+// it prunes with is the deterministic greedy seed.
+func (s *space) expandRoots() []node {
+	frontier := []node{{depth: 0, cur: s.start, acc: s.base}}
+	for depth := 0; depth < s.levels() && len(frontier) < expandTargetTasks; depth++ {
+		next := make([]node, 0, 2*len(frontier))
+		for _, n := range frontier {
+			if s.prune {
+				bound := s.opts.Objective.contribScore(n.acc.plus(s.suffixAt(n.depth)))
+				if s.pruneSubtree(bound, s.seedScore) {
+					continue
+				}
+			}
+			s.children(n, func(c node) { next = append(next, c) })
+		}
+		frontier = next
+	}
+	return frontier
+}
+
+// taskResult is the deterministic outcome of one subtree search.
+type taskResult struct {
+	best     *Assignment
+	score    float64
+	states   int
+	complete bool
+	found    bool
+}
+
+// searchTask runs the depth-first search below one subtree root. The
+// task prunes against the greedy seed and its own incumbent only —
+// both independent of scheduling — so its result is a pure function
+// of the root.
+func (s *space) searchTask(root node) taskResult {
+	r := taskResult{score: s.seedScore, complete: true}
+	budget := s.opts.MaxStates
+	localNodes := 0
+	var dfs func(n node)
+	dfs = func(n node) {
+		if s.cancelled.Load() {
+			return
+		}
+		localNodes++
+		if localNodes&1023 == 0 {
+			s.tick()
+			if s.cancelled.Load() {
+				return
+			}
+		}
+		if r.states > budget {
+			r.complete = false
+			return
+		}
+		if s.prune || n.depth == s.levels() {
+			score := s.opts.Objective.contribScore(n.acc.plus(s.suffixAt(n.depth)))
+			if s.prune && s.pruneSubtree(score, r.score) {
+				return
+			}
+			if n.depth == s.levels() {
+				// The suffix bound of a complete assignment is zero,
+				// so score is the exact leaf score here.
+				r.states++
+				s.leaves.Add(1)
+				if score < r.score || (!r.found && score <= r.score) {
+					r.best, r.score, r.found = n.cur.Clone(), score, true
+					s.publishBest(score)
+				}
+				return
+			}
+		}
+		s.children(n, dfs)
+	}
+	dfs(root)
+	return r
+}
+
+// publishBest lowers the shared incumbent score. It feeds progress
+// reporting only; see the space doc for why pruning does not read it.
+func (s *space) publishBest(score float64) {
+	bits := math.Float64bits(score)
+	for {
+		old := s.bestBits.Load()
+		if math.Float64frombits(old) <= score {
+			return
+		}
+		if s.bestBits.CompareAndSwap(old, bits) {
+			return
 		}
 	}
+}
 
-	start := New(an, plat, opts.Policy)
-	start.InPlace = opts.InPlace
-	decideArray(0, start, base)
+// tick runs the periodic bookkeeping of one worker: cancellation
+// polling (every 1024 DFS nodes) and progress reporting (every 8192).
+func (s *space) tick() {
+	if s.ctx.Err() != nil {
+		s.cancelled.Store(true)
+		return
+	}
+	n := s.ticks.Add(1)
+	if s.opts.Progress != nil && n&7 == 0 {
+		s.progressMu.Lock()
+		s.opts.Progress(Progress{
+			Engine:    s.engine,
+			States:    int(s.leaves.Load()),
+			BestScore: math.Float64frombits(s.bestBits.Load()),
+		})
+		s.progressMu.Unlock()
+	}
+}
 
-	if cancelled {
+// exactSearch explores the full decision space (array homes x chain
+// selections) with a parallel depth-first search: the tree is split
+// into independent subtree roots fanned over Options.Workers
+// goroutines. With prune true it is branch and bound — every task
+// prunes against the greedy-seeded incumbent and its own best — and
+// without it the exhaustive reference engine. The Result is
+// byte-identical at every worker count; exactSearch returns nil if
+// ctx is cancelled before the search finishes.
+func exactSearch(ctx context.Context, an *reuse.Analysis, plat *platform.Platform, opts Options, prune bool) *Result {
+	s := newSpace(ctx, an, plat, opts, prune)
+	if prune {
+		s.seedIncumbent(an)
+	}
+	if ctx.Err() != nil {
 		return nil
 	}
-	if best == nil {
-		// Pathological cap: fall back to the baseline.
-		best = start
+	tasks := s.expandRoots()
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+
+	results := make([]taskResult, len(tasks))
+	if workers <= 1 {
+		for i := range tasks {
+			if s.cancelled.Load() {
+				break
+			}
+			results[i] = s.searchTask(tasks[i])
+		}
+	} else {
+		var nextTask atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(nextTask.Add(1)) - 1
+					if i >= len(tasks) || s.cancelled.Load() {
+						return
+					}
+					results[i] = s.searchTask(tasks[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	if s.cancelled.Load() || ctx.Err() != nil {
+		return nil
+	}
+
+	// Deterministic merge: strict improvement only, so among equal
+	// scores the earliest task — holding the lexicographically first
+	// leaf of the sequential DFS order — wins at any worker count.
+	var best *Assignment
+	bestScore := math.Inf(1)
+	states := 0
+	complete := true
+	for i := range results {
+		states += results[i].states
+		if !results[i].complete {
+			complete = false
+		}
+		if results[i].found && results[i].score < bestScore {
+			best, bestScore = results[i].best, results[i].score
+		}
+	}
+	if states > opts.MaxStates {
 		complete = false
+	}
+	if best == nil {
+		// Pathological cap: every task's budget ran out before a leaf
+		// was reached. Fall back to the greedy seed, else to the
+		// out-of-the-box baseline.
+		complete = false
+		if s.hasSeed {
+			best = s.seed
+		} else {
+			best = s.start
+		}
 	}
 	return &Result{
 		Assignment: best,

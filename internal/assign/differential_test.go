@@ -1,0 +1,154 @@
+package assign_test
+
+// The cross-engine differential harness: for hundreds of seeded
+// progen scenarios it asserts the algebraic relations between the
+// three search engines —
+//
+//   - the parallel branch-and-bound Result is byte-identical to the
+//     single-worker run at every worker count,
+//   - branch and bound finds exactly the exhaustive engine's optimum
+//     (same assignment, same cost, never more states),
+//   - the greedy heuristic never beats the exact optimum.
+//
+// CI runs this under -race, so the worker pool of the exact engines
+// is exercised for data races on every scenario.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"mhla/internal/assign"
+	"mhla/internal/progen"
+	"mhla/internal/reuse"
+)
+
+// diffConfig keeps the instances small enough that 200+ exhaustive
+// searches stay cheap even under -race.
+var diffConfig = progen.Config{MaxSpace: 4000}
+
+// diffSeeds returns the number of scenarios the harness sweeps.
+func diffSeeds() int64 {
+	if testing.Short() {
+		return 60
+	}
+	return 220
+}
+
+func searchScenario(t *testing.T, sc *progen.Scenario, engine assign.Engine, workers int) *assign.Result {
+	t.Helper()
+	an, err := reuse.Analyze(sc.Program)
+	if err != nil {
+		t.Fatalf("seed %d: analyze: %v", sc.Seed, err)
+	}
+	opts := sc.Options
+	opts.Engine = engine
+	opts.Workers = workers
+	res, err := assign.SearchContext(context.Background(), an, sc.Platform, opts)
+	if err != nil {
+		t.Fatalf("seed %d: %v engine: %v", sc.Seed, engine, err)
+	}
+	return res
+}
+
+// assignmentsEqual compares the decisions of two assignments (homes
+// and chain selections); the immutable analysis/platform pointers may
+// legitimately differ when the runs analyzed the program separately.
+func assignmentsEqual(a, b *assign.Assignment) bool {
+	if !reflect.DeepEqual(a.ArrayHome, b.ArrayHome) || len(a.Chains) != len(b.Chains) {
+		return false
+	}
+	for id, ca := range a.Chains {
+		cb := b.Chains[id]
+		if cb == nil || !reflect.DeepEqual(ca.Levels, cb.Levels) || !reflect.DeepEqual(ca.Layers, cb.Layers) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDifferentialWorkerDeterminism: the parallel branch-and-bound
+// engine must return a byte-identical Result — assignment, cost,
+// state count, completeness — at workers 1, 2, 4 and 8 on every
+// scenario.
+func TestDifferentialWorkerDeterminism(t *testing.T) {
+	for seed := int64(0); seed < diffSeeds(); seed++ {
+		sc := diffConfig.Generate(seed)
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			ref := searchScenario(t, sc, assign.BranchBound, 1)
+			for _, w := range []int{2, 4, 8} {
+				got := searchScenario(t, sc, assign.BranchBound, w)
+				if !reflect.DeepEqual(got.Cost, ref.Cost) ||
+					got.States != ref.States ||
+					got.Complete != ref.Complete ||
+					!reflect.DeepEqual(got.Baseline, ref.Baseline) ||
+					!assignmentsEqual(got.Assignment, ref.Assignment) {
+					t.Errorf("workers=%d result differs from workers=1:\n%+v\nvs\n%+v\n%s\nvs\n%s",
+						w, got.Cost, ref.Cost, got.Assignment, ref.Assignment)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialBnBMatchesExhaustive: branch and bound must return
+// exactly the exhaustive optimum — the same assignment (the
+// lexicographically first optimal leaf), the same cost — while never
+// evaluating more states.
+func TestDifferentialBnBMatchesExhaustive(t *testing.T) {
+	for seed := int64(0); seed < diffSeeds(); seed++ {
+		sc := diffConfig.Generate(seed)
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			ex := searchScenario(t, sc, assign.Exhaustive, 4)
+			bb := searchScenario(t, sc, assign.BranchBound, 4)
+			if !ex.Complete || !bb.Complete {
+				t.Fatalf("incomplete exact search (space %d): ex=%v bb=%v", sc.Space, ex.Complete, bb.Complete)
+			}
+			if !reflect.DeepEqual(bb.Cost, ex.Cost) {
+				t.Errorf("bnb cost %+v != exhaustive cost %+v", bb.Cost, ex.Cost)
+			}
+			if !assignmentsEqual(bb.Assignment, ex.Assignment) {
+				t.Errorf("bnb assignment differs from exhaustive:\n%svs\n%s", bb.Assignment, ex.Assignment)
+			}
+			if bb.States > ex.States {
+				t.Errorf("bnb evaluated %d states, exhaustive only %d", bb.States, ex.States)
+			}
+			if err := bb.Assignment.Validate(); err != nil {
+				t.Errorf("bnb assignment invalid: %v", err)
+			}
+			if !bb.Assignment.Fits() {
+				t.Error("bnb assignment does not fit")
+			}
+		})
+	}
+}
+
+// TestDifferentialGreedyNeverBeatsExact: the greedy heuristic's score
+// must never drop below the exact optimum on any scenario, under the
+// scenario's own objective.
+func TestDifferentialGreedyNeverBeatsExact(t *testing.T) {
+	for seed := int64(0); seed < diffSeeds(); seed++ {
+		sc := diffConfig.Generate(seed)
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			gr := searchScenario(t, sc, assign.Greedy, 1)
+			bb := searchScenario(t, sc, assign.BranchBound, 4)
+			if !bb.Complete {
+				t.Fatalf("incomplete bnb (space %d)", sc.Space)
+			}
+			obj := sc.Options.Objective
+			gs, bs := obj.Score(gr.Cost), obj.Score(bb.Cost)
+			if gs < bs-1e-9*math.Max(1, bs) {
+				t.Errorf("greedy %v beat exact optimum %v (objective %v)", gs, bs, obj)
+			}
+			// Both engines must improve on or match the baseline.
+			if bs > obj.Score(bb.Baseline)+1e-9*math.Max(1, bs) {
+				t.Errorf("exact optimum %v worse than baseline %v", bs, obj.Score(bb.Baseline))
+			}
+		})
+	}
+}

@@ -78,8 +78,11 @@ func (e Engine) String() string {
 }
 
 // Progress is a snapshot of a running search, delivered to the
-// Options.Progress callback from the searching goroutine (callbacks
-// must be fast and must not retain the snapshot's slices).
+// Options.Progress callback (callbacks must be fast and must not
+// retain the snapshot's slices). The greedy engine calls it from the
+// searching goroutine; the parallel exact engines call it from their
+// worker goroutines, serialized, so the callback never runs
+// concurrently with itself.
 type Progress struct {
 	// Engine is the running algorithm.
 	Engine Engine
@@ -109,11 +112,24 @@ type Options struct {
 	// GainPerByte makes the greedy rank moves by gain per byte of
 	// on-chip space consumed rather than absolute gain.
 	GainPerByte bool
-	// MaxStates caps the states explored by BranchBound/Exhaustive.
+	// MaxStates caps the states (complete assignments) evaluated by
+	// BranchBound/Exhaustive. The cap applies to each independent
+	// subtree task of the parallel search, and a result whose total
+	// state count exceeds it is conservatively flagged incomplete, so
+	// any search reported Complete stayed within the cap and any
+	// search that would finish under the cap is never truncated —
+	// regardless of the worker count.
 	MaxStates int
 	// MaxGreedyIters caps greedy iterations (a safety net; the search
 	// terminates on its own because cost strictly decreases).
 	MaxGreedyIters int
+	// Workers caps the goroutines the exact engines (BranchBound,
+	// Exhaustive) fan their independent subtree searches over. 0 means
+	// GOMAXPROCS; 1 forces a single-threaded search. The result is
+	// byte-identical at every worker count. The greedy engine is
+	// inherently sequential and ignores Workers. Negative values are
+	// rejected by Validate.
+	Workers int
 	// Progress, when non-nil, receives periodic search snapshots:
 	// after every greedy iteration and every few thousand explored
 	// nodes of the exact engines.
@@ -124,7 +140,55 @@ type Options struct {
 // zero value as "use DefaultOptions".
 func (o Options) IsZero() bool {
 	return o.Policy == 0 && o.Objective == 0 && !o.InPlace && o.Engine == 0 &&
-		!o.GainPerByte && o.MaxStates == 0 && o.MaxGreedyIters == 0 && o.Progress == nil
+		!o.GainPerByte && o.MaxStates == 0 && o.MaxGreedyIters == 0 &&
+		o.Workers == 0 && o.Progress == nil
+}
+
+// OptionError reports an invalid search option or facade input. It is
+// returned (possibly wrapped) by SearchContext and by the pkg/mhla
+// facade; use errors.As to recover the offending field.
+type OptionError struct {
+	// Field names the rejected option, e.g. "Workers".
+	Field string
+	// Reason says why the value is invalid.
+	Reason string
+}
+
+// Error renders the rejection.
+func (e *OptionError) Error() string {
+	return fmt.Sprintf("assign: invalid option %s: %s", e.Field, e.Reason)
+}
+
+// Validate rejects option values that earlier versions silently
+// papered over: negative counts and out-of-range enums now fail with
+// a typed *OptionError instead of falling back to defaults. Zero
+// counts still mean "use the default".
+func (o Options) Validate() error {
+	switch o.Policy {
+	case reuse.Slide, reuse.Refetch:
+	default:
+		return &OptionError{Field: "Policy", Reason: fmt.Sprintf("unknown policy %v", o.Policy)}
+	}
+	switch o.Objective {
+	case MinEnergy, MinTime, MinEDP:
+	default:
+		return &OptionError{Field: "Objective", Reason: fmt.Sprintf("unknown objective %v", o.Objective)}
+	}
+	switch o.Engine {
+	case Greedy, BranchBound, Exhaustive:
+	default:
+		return &OptionError{Field: "Engine", Reason: fmt.Sprintf("unknown engine %v", o.Engine)}
+	}
+	if o.MaxStates < 0 {
+		return &OptionError{Field: "MaxStates", Reason: fmt.Sprintf("negative state cap %d", o.MaxStates)}
+	}
+	if o.MaxGreedyIters < 0 {
+		return &OptionError{Field: "MaxGreedyIters", Reason: fmt.Sprintf("negative iteration cap %d", o.MaxGreedyIters)}
+	}
+	if o.Workers < 0 {
+		return &OptionError{Field: "Workers", Reason: fmt.Sprintf("negative worker count %d", o.Workers)}
+	}
+	return nil
 }
 
 // DefaultOptions returns the configuration used by the experiments:
@@ -171,16 +235,19 @@ func Search(an *reuse.Analysis, plat *platform.Platform, opts Options) (*Result,
 // honoring cancellation and deadlines: when ctx is cancelled the
 // engines stop promptly and SearchContext returns ctx.Err().
 func SearchContext(ctx context.Context, an *reuse.Analysis, plat *platform.Platform, opts Options) (*Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	if err := plat.Validate(); err != nil {
 		return nil, fmt.Errorf("assign: %w", err)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if opts.MaxGreedyIters <= 0 {
+	if opts.MaxGreedyIters == 0 {
 		opts.MaxGreedyIters = 10_000
 	}
-	if opts.MaxStates <= 0 {
+	if opts.MaxStates == 0 {
 		opts.MaxStates = 500_000
 	}
 	baseline := New(an, plat, opts.Policy)
@@ -191,12 +258,8 @@ func SearchContext(ctx context.Context, an *reuse.Analysis, plat *platform.Platf
 	switch opts.Engine {
 	case Greedy:
 		res = greedySearch(ctx, an, plat, opts)
-	case BranchBound:
-		res = exactSearch(ctx, an, plat, opts, true)
-	case Exhaustive:
-		res = exactSearch(ctx, an, plat, opts, false)
-	default:
-		return nil, fmt.Errorf("assign: unknown engine %v", opts.Engine)
+	default: // BranchBound or Exhaustive; Validate rejected the rest.
+		res = exactSearch(ctx, an, plat, opts, opts.Engine == BranchBound)
 	}
 	if res == nil {
 		return nil, ctx.Err()

@@ -1,0 +1,78 @@
+package assign_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"mhla/internal/assign"
+	"mhla/internal/progen"
+	"mhla/internal/reuse"
+)
+
+// TestOptionsValidateTyped: invalid option values must be rejected
+// with a typed *OptionError naming the field, instead of the silent
+// clamping earlier versions applied.
+func TestOptionsValidateTyped(t *testing.T) {
+	base := assign.DefaultOptions()
+	cases := []struct {
+		name   string
+		mutate func(o *assign.Options)
+		field  string
+	}{
+		{"negative workers", func(o *assign.Options) { o.Workers = -1 }, "Workers"},
+		{"negative max states", func(o *assign.Options) { o.MaxStates = -10 }, "MaxStates"},
+		{"negative greedy iters", func(o *assign.Options) { o.MaxGreedyIters = -1 }, "MaxGreedyIters"},
+		{"unknown engine", func(o *assign.Options) { o.Engine = assign.Engine(99) }, "Engine"},
+		{"unknown objective", func(o *assign.Options) { o.Objective = assign.Objective(-1) }, "Objective"},
+		{"unknown policy", func(o *assign.Options) { o.Policy = reuse.Policy(7) }, "Policy"},
+	}
+	sc := progen.Generate(3)
+	an, err := reuse.Analyze(sc.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			opts := base
+			c.mutate(&opts)
+			err := opts.Validate()
+			var oe *assign.OptionError
+			if !errors.As(err, &oe) {
+				t.Fatalf("Validate returned %v, want *OptionError", err)
+			}
+			if oe.Field != c.field {
+				t.Errorf("rejected field %q, want %q", oe.Field, c.field)
+			}
+			if oe.Error() == "" {
+				t.Error("empty error message")
+			}
+			// SearchContext must reject the same way, before touching
+			// any engine.
+			if _, err := assign.SearchContext(context.Background(), an, sc.Platform, opts); !errors.As(err, &oe) {
+				t.Errorf("SearchContext returned %v, want *OptionError", err)
+			}
+		})
+	}
+}
+
+// TestOptionsZeroStillDefaults: zero counts keep meaning "use the
+// default" — only negatives and unknown enums are errors.
+func TestOptionsZeroStillDefaults(t *testing.T) {
+	var zero assign.Options
+	if err := zero.Validate(); err != nil {
+		t.Fatalf("zero options rejected: %v", err)
+	}
+	sc := progen.Generate(3)
+	an, err := reuse.Analyze(sc.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := assign.SearchContext(context.Background(), an, sc.Platform, zero)
+	if err != nil {
+		t.Fatalf("zero options search failed: %v", err)
+	}
+	if res.Assignment == nil || !res.Complete {
+		t.Errorf("zero options search incomplete: %+v", res)
+	}
+}

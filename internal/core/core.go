@@ -138,6 +138,9 @@ func RunContext(ctx context.Context, p *model.Program, cfg Config) (*Result, err
 	if search.IsZero() {
 		search = assign.DefaultOptions()
 	}
+	if err := search.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	enter := func(ph Phase) error {
 		if err := ctx.Err(); err != nil {
 			return err

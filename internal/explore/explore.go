@@ -62,6 +62,14 @@ func RunContext(ctx context.Context, p *model.Program, sizes []int64, opts assig
 // callbacks, DisableTE, ...); cfg.Platform is ignored — the sweep
 // constructs the two-level platform per size.
 func RunFlow(ctx context.Context, p *model.Program, sizes []int64, cfg core.Config) (*Sweep, error) {
+	// Validate the search options once up front, so a bad
+	// configuration fails fast with the typed error instead of
+	// surfacing wrapped in the first sweep point's size context.
+	if !cfg.Search.IsZero() {
+		if err := cfg.Search.Validate(); err != nil {
+			return nil, fmt.Errorf("explore: %w", err)
+		}
+	}
 	if len(sizes) == 0 {
 		sizes = DefaultSizes()
 	}

@@ -47,6 +47,17 @@ type config struct {
 	search    assign.Options
 	disableTE bool
 	progress  core.ProgressFunc
+	// err records the first invalid facade input; entry points return
+	// it (a typed *OptionError) instead of running on a silently
+	// patched configuration.
+	err error
+}
+
+// fail records the first invalid input.
+func (c *config) fail(field, reason string) {
+	if c.err == nil {
+		c.err = &assign.OptionError{Field: field, Reason: reason}
+	}
 }
 
 func newConfig(opts []Option) *config {
@@ -56,6 +67,11 @@ func newConfig(opts []Option) *config {
 	}
 	if cfg.platform == nil {
 		cfg.platform = energy.TwoLevel(DefaultL1)
+	}
+	if cfg.err == nil {
+		if err := cfg.search.Validate(); err != nil {
+			cfg.err = err
+		}
 	}
 	return cfg
 }
@@ -73,15 +89,33 @@ func (c *config) coreConfig() core.Config {
 type Option func(*config)
 
 // WithPlatform targets the given architecture. The default is
-// TwoLevel(DefaultL1).
+// TwoLevel(DefaultL1). A nil platform or one without at least two
+// memory layers is rejected with a typed *OptionError.
 func WithPlatform(p *Platform) Option {
-	return func(c *config) { c.platform = p }
+	return func(c *config) {
+		if p == nil {
+			c.fail("Platform", "nil platform")
+			return
+		}
+		if len(p.Layers) < 2 {
+			c.fail("Platform", fmt.Sprintf("need at least 2 memory layers, have %d", len(p.Layers)))
+			return
+		}
+		c.platform = p
+	}
 }
 
 // WithL1 targets the standard two-level experiment platform (L1
-// scratchpad of the given byte capacity over SDRAM, with DMA).
+// scratchpad of the given byte capacity over SDRAM, with DMA). A
+// non-positive capacity is rejected with a typed *OptionError.
 func WithL1(bytes int64) Option {
-	return func(c *config) { c.platform = energy.TwoLevel(bytes) }
+	return func(c *config) {
+		if bytes <= 0 {
+			c.fail("L1", fmt.Sprintf("capacity %d bytes, must be positive", bytes))
+			return
+		}
+		c.platform = energy.TwoLevel(bytes)
+	}
 }
 
 // WithObjective selects the quantity the assignment search minimizes:
@@ -122,14 +156,31 @@ func WithAbsoluteGain() Option {
 }
 
 // WithMaxStates caps the states the exact engines explore before
-// giving up on optimality (default 500000).
+// giving up on optimality (default 500000). The cap applies per
+// subtree task of the parallel search; results whose total exceeds it
+// are flagged incomplete. Negative values are rejected with a typed
+// *OptionError.
 func WithMaxStates(n int) Option {
 	return func(c *config) { c.search.MaxStates = n }
 }
 
+// WithWorkers caps the goroutines the exact engines (BnB, Exhaustive)
+// fan their independent subtree searches over. 0 (the default) means
+// GOMAXPROCS, 1 forces a single-threaded search, and the result is
+// byte-identical at every worker count. The greedy engine is
+// inherently sequential and ignores the setting. Negative values are
+// rejected with a typed *OptionError.
+func WithWorkers(n int) Option {
+	return func(c *config) { c.search.Workers = n }
+}
+
 // WithProgress streams flow progress: one callback as each phase
 // starts, plus the search engine's periodic snapshots. The callback
-// runs on the flow's goroutine and must be fast.
+// must be fast. Phase entries and greedy snapshots arrive on the
+// flow's goroutine; the parallel exact engines (BnB, Exhaustive)
+// deliver their snapshots from worker goroutines, serialized, so the
+// callback never runs concurrently with itself but must not assume
+// the caller's goroutine.
 func WithProgress(fn ProgressFunc) Option {
 	return func(c *config) { c.progress = fn }
 }
@@ -139,7 +190,11 @@ func WithProgress(fn ProgressFunc) Option {
 // returns ctx.Err() promptly when ctx is cancelled, even inside a
 // long assignment search.
 func Run(ctx context.Context, p *Program, opts ...Option) (*Result, error) {
-	return core.RunContext(ctx, p, newConfig(opts).coreConfig())
+	cfg := newConfig(opts)
+	if cfg.err != nil {
+		return nil, cfg.err
+	}
+	return core.RunContext(ctx, p, cfg.coreConfig())
 }
 
 // Search runs the assignment step alone on an analyzed program (step
@@ -148,6 +203,9 @@ func Run(ctx context.Context, p *Program, opts ...Option) (*Result, error) {
 // WithProgress streams the engine's snapshots.
 func Search(ctx context.Context, an *Analysis, plat *Platform, opts ...Option) (*SearchResult, error) {
 	cfg := newConfig(opts)
+	if cfg.err != nil {
+		return nil, cfg.err
+	}
 	if plat == nil {
 		plat = cfg.platform
 	}

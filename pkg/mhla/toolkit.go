@@ -58,6 +58,9 @@ func Layout(a *Assignment) ([]*LayerMap, error) { return layout.Map(a) }
 // cancelled.
 func SweepL1(ctx context.Context, p *Program, sizes []int64, opts ...Option) (*Sweep, error) {
 	cfg := newConfig(opts)
+	if cfg.err != nil {
+		return nil, cfg.err
+	}
 	return explore.RunFlow(ctx, p, sizes, cfg.coreConfig())
 }
 
@@ -77,7 +80,11 @@ func ParetoRender(points []ParetoPoint) string { return pareto.Render(points) }
 // platform options are ignored — the partitioner constructs the
 // candidate platforms itself.
 func Partition(tasks []Task, budget int64, opts ...Option) (*MultiTaskPlan, error) {
-	return multitask.Partition(tasks, budget, newConfig(opts).assignOptions())
+	cfg := newConfig(opts)
+	if cfg.err != nil {
+		return nil, cfg.err
+	}
+	return multitask.Partition(tasks, budget, cfg.assignOptions())
 }
 
 // Figure2 renders the paper's performance figure for a set of

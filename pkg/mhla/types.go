@@ -63,6 +63,10 @@ type (
 	SearchResult = assign.Result
 	// SearchProgress is one snapshot of a running assignment search.
 	SearchProgress = assign.Progress
+	// OptionError is the typed rejection of an invalid option or
+	// facade input (negative worker counts, non-positive L1 sizes,
+	// platforms without layers, ...); recover it with errors.As.
+	OptionError = assign.OptionError
 
 	// Plan is the time-extension step-2 decision: the per-stream
 	// prefetch schedule of the paper's Figure 1.
