@@ -247,8 +247,13 @@ func BenchmarkAblationSearch(b *testing.B) {
 // byte-identical across worker counts by construction; the benchmark
 // verifies that on every iteration and reports the states explored.
 // Wall-clock speedup over workers=1 requires actual cores — on a
-// single-CPU host the worker counts time-slice and tie. Measured
-// numbers are recorded in BENCH_PARALLEL_BNB.json.
+// single-CPU host the worker counts time-slice and tie. Allocations
+// are reported because the incremental apply/undo engine's headline
+// property is a steady-state DFS that allocates nothing (all per-op
+// allocations are one-time setup: decision tables, the greedy seed
+// and one searchState per subtree task). Measured numbers are
+// recorded in BENCH_PARALLEL_BNB.json (clone-per-node engine) and
+// BENCH_INCREMENTAL_BNB.json (incremental engine, before/after).
 func BenchmarkParallelBnB(b *testing.B) {
 	cfg := progen.Config{MaxArrays: 4, MaxBlocks: 3, MaxNests: 3, MaxAccesses: 4, MaxSpace: 40_000_000}
 	sc := cfg.Generate(7)
@@ -260,6 +265,7 @@ func BenchmarkParallelBnB(b *testing.B) {
 	for _, w := range []int{1, 2, 4, 8} {
 		w := w
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
 			var res *mhla.SearchResult
 			for i := 0; i < b.N; i++ {
 				var err error

@@ -20,6 +20,11 @@
 //	mhla -model fir.json         # explore an external JSON application
 //	mhla -app me -platform p.json  # explore on an external platform
 //	mhla -list                   # list the applications (sorted by name)
+//
+// For performance work the flow can capture pprof data directly:
+//
+//	mhla -app me -engine bnb -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof cpu.out
 package main
 
 import (
@@ -27,6 +32,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 
 	"mhla/internal/apps"
@@ -35,23 +42,45 @@ import (
 
 func main() {
 	var (
-		appName   = flag.String("app", "me", "application to run (see -list)")
-		l1        = flag.Int64("l1", 0, "on-chip scratchpad bytes (0 = application default)")
-		scale     = flag.String("scale", "paper", "workload scale: paper or test")
-		objective = flag.String("objective", "energy", "search objective: energy, time or edp")
-		engine    = flag.String("engine", "greedy", "search engine: greedy, bnb or exhaustive")
-		workers   = flag.Int("workers", 0, "worker goroutines for the exact engines (0 = GOMAXPROCS; results are identical at any count)")
-		policy    = flag.String("policy", "slide", "copy transfer policy: slide or refetch")
-		noTE      = flag.Bool("no-te", false, "skip the time-extension step")
-		noDMA     = flag.Bool("no-dma", false, "platform without a DMA engine (TE not applicable)")
-		noInplace = flag.Bool("no-inplace", false, "disable lifetime-aware (in-place) size estimation")
-		timeout   = flag.Duration("timeout", 0, "abort the flow after this duration (0 = none)")
-		verbose   = flag.Bool("verbose", false, "print the assignment and the TE plan")
-		list      = flag.Bool("list", false, "list the available applications")
-		modelFile = flag.String("model", "", "JSON application model file (overrides -app)")
-		platFile  = flag.String("platform", "", "JSON platform file (overrides -l1/-no-dma)")
+		appName    = flag.String("app", "me", "application to run (see -list)")
+		l1         = flag.Int64("l1", 0, "on-chip scratchpad bytes (0 = application default)")
+		scale      = flag.String("scale", "paper", "workload scale: paper or test")
+		objective  = flag.String("objective", "energy", "search objective: energy, time or edp")
+		engine     = flag.String("engine", "greedy", "search engine: greedy, bnb or exhaustive")
+		workers    = flag.Int("workers", 0, "worker goroutines for the exact engines (0 = GOMAXPROCS; results are identical at any count)")
+		policy     = flag.String("policy", "slide", "copy transfer policy: slide or refetch")
+		noTE       = flag.Bool("no-te", false, "skip the time-extension step")
+		noDMA      = flag.Bool("no-dma", false, "platform without a DMA engine (TE not applicable)")
+		noInplace  = flag.Bool("no-inplace", false, "disable lifetime-aware (in-place) size estimation")
+		timeout    = flag.Duration("timeout", 0, "abort the flow after this duration (0 = none)")
+		verbose    = flag.Bool("verbose", false, "print the assignment and the TE plan")
+		list       = flag.Bool("list", false, "list the available applications")
+		modelFile  = flag.String("model", "", "JSON application model file (overrides -app)")
+		platFile   = flag.String("platform", "", "JSON platform file (overrides -l1/-no-dma)")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the flow to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		stopCPUProfile = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+		defer stopCPUProfile()
+	}
+	if *memProfile != "" {
+		memProfilePath = *memProfile
+		defer writeMemProfile()
+	}
 
 	if *list {
 		all := apps.All()
@@ -165,7 +194,40 @@ func main() {
 	fmt.Print(res.Summary())
 }
 
+// stopCPUProfile flushes and closes an in-progress -cpuprofile
+// capture. fatal calls it explicitly because os.Exit skips deferred
+// calls — without this, any failed run would leave a truncated,
+// unreadable profile file.
+var stopCPUProfile = func() {}
+
+// memProfilePath is the -memprofile destination, cleared once
+// written. fatal dumps it too (best-effort, never recursing into
+// fatal), so failed runs still yield a heap profile.
+var memProfilePath string
+
+// writeMemProfile captures the heap profile for -memprofile. It runs
+// at most once.
+func writeMemProfile() {
+	path := memProfilePath
+	if path == "" {
+		return
+	}
+	memProfilePath = ""
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mhla:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "mhla:", err)
+	}
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "mhla:", err)
+	writeMemProfile()
+	stopCPUProfile()
 	os.Exit(1)
 }

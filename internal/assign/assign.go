@@ -83,6 +83,11 @@ type Assignment struct {
 	Chains map[string]*ChainAssign
 	// Extras holds per-stream space added by the time-extension step.
 	Extras map[StreamKey]Extra
+
+	// chainByID indexes Analysis.Chains by ID. It is built once by New
+	// and shared by Clone (the analysis is immutable), so chain lookups
+	// are O(1) instead of a linear scan per call.
+	chainByID map[string]*reuse.Chain
 }
 
 // New returns the out-of-the-box assignment: every array in background
@@ -96,6 +101,10 @@ func New(an *reuse.Analysis, plat *platform.Platform, policy reuse.Policy) *Assi
 		ArrayHome: make(map[string]int, len(an.Program.Arrays)),
 		Chains:    make(map[string]*ChainAssign),
 		Extras:    make(map[StreamKey]Extra),
+		chainByID: make(map[string]*reuse.Chain, len(an.Chains)),
+	}
+	for _, ch := range an.Chains {
+		a.chainByID[ch.ID] = ch
 	}
 	bg := plat.Background()
 	for _, arr := range an.Program.Arrays {
@@ -114,6 +123,7 @@ func (a *Assignment) Clone() *Assignment {
 		ArrayHome: make(map[string]int, len(a.ArrayHome)),
 		Chains:    make(map[string]*ChainAssign, len(a.Chains)),
 		Extras:    make(map[StreamKey]Extra, len(a.Extras)),
+		chainByID: a.chainByID,
 	}
 	for k, v := range a.ArrayHome {
 		c.ArrayHome[k] = v
@@ -127,14 +137,10 @@ func (a *Assignment) Clone() *Assignment {
 	return c
 }
 
-// chain returns the chain with the given ID.
+// chain returns the chain with the given ID. Every Assignment is
+// built by New (or cloned from one), so the index is always present.
 func (a *Assignment) chain(id string) *reuse.Chain {
-	for _, ch := range a.Analysis.Chains {
-		if ch.ID == id {
-			return ch
-		}
-	}
-	return nil
+	return a.chainByID[id]
 }
 
 // Select adds copy candidate (chainID, level) at the given layer,

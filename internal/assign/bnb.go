@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"mhla/internal/lifetime"
 	"mhla/internal/model"
 	"mhla/internal/platform"
 	"mhla/internal/reuse"
@@ -41,6 +42,8 @@ func (o Objective) contribScore(c contrib) float64 {
 
 // chainContrib computes the access and transfer cost of one chain
 // under the given home and selection (full stalls, no extensions).
+// The exact engines call it only from buildTables — the DFS hot loop
+// reads the precomputed chainContribTab instead.
 func chainContrib(plat *platform.Platform, policy reuse.Policy, ch *reuse.Chain, home int, levels, layers []int) contrib {
 	var c contrib
 	// CPU accesses.
@@ -133,15 +136,15 @@ func chainOptionsFor(plat *platform.Platform, ch *reuse.Chain) []option {
 // it every per-task search, is identical at every worker count.
 const expandTargetTasks = 32
 
-// node is one position of the decision tree: depth decisions taken,
-// cur the assignment built so far, acc its exact accumulated cost
-// contribution. Assignments are shared down the tree until a decision
-// changes them (decisions always clone before mutating), so nodes are
-// safe to hand to concurrent workers.
-type node struct {
-	depth int
-	cur   *Assignment
-	acc   contrib
+// rootNode is one independent subtree root of the parallel search: the
+// decision prefix (one option index per decided level; its length is
+// the root's depth) and the exact cost contribution accumulated over
+// that prefix. Workers replay the prefix into their own searchState,
+// so roots carry no assignment and are trivially safe to hand across
+// goroutines.
+type rootNode struct {
+	decisions []int
+	acc       contrib
 }
 
 // space holds the immutable decision tables of one exact search,
@@ -163,6 +166,19 @@ type space struct {
 	arrayOpts [][]int
 	chains    []*reuse.Chain
 	chainOpts [][]option
+
+	// Precomputed per-decision tables (see buildTables in state.go):
+	// cost contributions, lifetime objects and option indices, so the
+	// DFS inner loop is table lookups against a mutable searchState
+	// instead of Assignment clones and profile rebuilds.
+	nblocks         int
+	arrayObjs       []lifetime.Object
+	arrayUsed       []bool
+	arrayContribTab [][]contrib
+	chainContribTab [][]contrib
+	chainObjs       [][][]objDesc
+	chainArrayIdx   []int
+	optIndex        []map[string]int
 
 	// suffix[i] is an optimistic lower bound on the total
 	// contribution of chains i.. (undecided decisions).
@@ -223,19 +239,24 @@ func newSpace(ctx context.Context, an *reuse.Analysis, plat *platform.Platform, 
 		s.chainOpts[i] = chainOptionsFor(plat, ch)
 	}
 
+	s.nblocks = len(an.Program.Blocks)
+	s.buildTables(lifetime.ArraySpans(an.Program))
+
 	// Per-chain optimistic contributions (min over homes and options),
-	// used as lower bounds for undecided chains.
+	// used as lower bounds for undecided chains. Reads the precomputed
+	// contribution tables.
 	minChain := make([]contrib, len(s.chains))
-	for i, ch := range s.chains {
+	for i := range s.chains {
 		best := contrib{cycles: 1 << 62, energy: 1e300}
 		homes := []int{s.bg}
 		homes = append(homes, plat.OnChipLayers()...)
+		nopts := len(s.chainOpts[i])
 		for _, home := range homes {
-			for _, op := range s.chainOpts[i] {
+			for oi, op := range s.chainOpts[i] {
 				if len(op.layers) > 0 && op.layers[0] >= home {
 					continue
 				}
-				c := chainContrib(plat, opts.Policy, ch, home, op.levels, op.layers)
+				c := s.chainContribTab[i][home*nopts+oi]
 				if c.cycles < best.cycles {
 					best.cycles = c.cycles
 				}
@@ -262,6 +283,14 @@ func newSpace(ctx context.Context, an *reuse.Analysis, plat *platform.Platform, 
 // levels is the total number of decisions of a complete assignment.
 func (s *space) levels() int { return len(s.arrays) + len(s.chains) }
 
+// optionCount returns the number of enumerated decisions at a depth.
+func (s *space) optionCount(depth int) int {
+	if depth < len(s.arrays) {
+		return len(s.arrayOpts[depth])
+	}
+	return len(s.chainOpts[depth-len(s.arrays)])
+}
+
 // suffixAt returns the optimistic bound on everything undecided at
 // the given depth. While array homes are still open all chains are
 // undecided.
@@ -277,7 +306,9 @@ func (s *space) suffixAt(depth int) contrib {
 // with a strong deterministic bound (this replaces cross-task bound
 // sharing, which would make the explored tree depend on scheduling).
 // It reports false when greedy was cancelled or — defensively — when
-// its result does not map onto the decision tables.
+// its result does not map onto the decision tables. The mapping is
+// O(1) per decision: homes are matched against the (tiny) per-array
+// home list, selections against the option-key index.
 func (s *space) seedIncumbent(an *reuse.Analysis) bool {
 	gopts := s.opts
 	gopts.Progress = nil
@@ -307,83 +338,23 @@ func (s *space) seedIncumbent(an *reuse.Analysis) bool {
 			lv, ly = ca.Levels, ca.Layers
 		}
 		home := a.ArrayHome[ch.Array.Name]
+		if len(lv) != len(ly) {
+			return false
+		}
 		if len(ly) > 0 && ly[0] >= home {
 			return false
 		}
-		if !hasOption(s.chainOpts[i], lv, ly) {
+		oi, ok := s.optIndex[i][optionKey(lv, ly)]
+		if !ok {
 			return false
 		}
-		acc = acc.plus(chainContrib(s.plat, s.opts.Policy, ch, home, lv, ly))
+		acc = acc.plus(s.chainContribTab[i][home*len(s.chainOpts[i])+oi])
 	}
 	s.seed = a
 	s.seedScore = s.opts.Objective.contribScore(acc)
 	s.hasSeed = true
 	s.publishBest(s.seedScore)
 	return true
-}
-
-// hasOption reports whether the selection appears among the chain's
-// enumerated options.
-func hasOption(opts []option, levels, layers []int) bool {
-	for _, op := range opts {
-		if equalInts(op.levels, levels) && equalInts(op.layers, layers) {
-			return true
-		}
-	}
-	return false
-}
-
-func equalInts(a, b []int) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
-}
-
-// children enumerates the feasible decisions at n in deterministic
-// order and calls emit for each resulting child.
-func (s *space) children(n node, emit func(node)) {
-	if n.depth < len(s.arrays) {
-		arr := s.arrays[n.depth]
-		for _, home := range s.arrayOpts[n.depth] {
-			next := n.cur
-			if home != s.bg {
-				next = n.cur.Clone()
-				next.SetHome(arr.Name, home)
-				if !next.Fits() {
-					continue
-				}
-			}
-			emit(node{depth: n.depth + 1, cur: next, acc: n.acc.plus(arrayContrib(s.plat, arr, home))})
-		}
-		return
-	}
-	ci := n.depth - len(s.arrays)
-	ch := s.chains[ci]
-	home := n.cur.ArrayHome[ch.Array.Name]
-	for _, op := range s.chainOpts[ci] {
-		if len(op.layers) > 0 && op.layers[0] >= home {
-			continue
-		}
-		next := n.cur
-		if len(op.levels) > 0 {
-			next = n.cur.Clone()
-			next.Chains[ch.ID] = &ChainAssign{
-				Chain:  ch,
-				Levels: append([]int(nil), op.levels...),
-				Layers: append([]int(nil), op.layers...),
-			}
-			if !next.Fits() {
-				continue
-			}
-		}
-		emit(node{depth: n.depth + 1, cur: next, acc: n.acc.plus(chainContrib(s.plat, s.opts.Policy, ch, home, op.levels, op.layers))})
-	}
 }
 
 // pruneSubtree reports whether the subtree with the given optimistic
@@ -409,19 +380,32 @@ func (s *space) pruneSubtree(bound, bestScore float64) bool {
 // by breadth-first expansion of whole decision levels until at least
 // expandTargetTasks roots exist or the tree is fully expanded. The
 // expansion does not depend on the worker count, and the only bound
-// it prunes with is the deterministic greedy seed.
-func (s *space) expandRoots() []node {
-	frontier := []node{{depth: 0, cur: s.start, acc: s.base}}
+// it prunes with is the deterministic greedy seed. One scratch
+// searchState is replayed per frontier node to run the same
+// feasibility checks the per-task DFS runs.
+func (s *space) expandRoots() []rootNode {
+	st := newSearchState(s)
+	frontier := []rootNode{{acc: s.base}}
 	for depth := 0; depth < s.levels() && len(frontier) < expandTargetTasks; depth++ {
-		next := make([]node, 0, 2*len(frontier))
+		next := make([]rootNode, 0, 2*len(frontier))
 		for _, n := range frontier {
 			if s.prune {
-				bound := s.opts.Objective.contribScore(n.acc.plus(s.suffixAt(n.depth)))
+				bound := s.opts.Objective.contribScore(n.acc.plus(s.suffixAt(depth)))
 				if s.pruneSubtree(bound, s.seedScore) {
 					continue
 				}
 			}
-			s.children(n, func(c node) { next = append(next, c) })
+			st.applyPrefix(n.decisions)
+			for oi, nopts := 0, s.optionCount(depth); oi < nopts; oi++ {
+				if !st.apply(depth, oi) {
+					continue
+				}
+				acc := n.acc.plus(st.contribAt(depth, oi))
+				st.undo(depth, oi)
+				decisions := append(append(make([]int, 0, depth+1), n.decisions...), oi)
+				next = append(next, rootNode{decisions: decisions, acc: acc})
+			}
+			st.rewindPrefix(n.decisions)
 		}
 		frontier = next
 	}
@@ -440,13 +424,17 @@ type taskResult struct {
 // searchTask runs the depth-first search below one subtree root. The
 // task prunes against the greedy seed and its own incumbent only —
 // both independent of scheduling — so its result is a pure function
-// of the root.
-func (s *space) searchTask(root node) taskResult {
+// of the root. The DFS mutates one preallocated searchState with
+// apply/undo; its steady state allocates nothing — a full Assignment
+// is materialized only when a leaf improves the task incumbent.
+func (s *space) searchTask(root rootNode) taskResult {
 	r := taskResult{score: s.seedScore, complete: true}
 	budget := s.opts.MaxStates
 	localNodes := 0
-	var dfs func(n node)
-	dfs = func(n node) {
+	st := newSearchState(s)
+	st.applyPrefix(root.decisions)
+	var dfs func(depth int, acc contrib)
+	dfs = func(depth int, acc contrib) {
 		if s.cancelled.Load() {
 			return
 		}
@@ -461,26 +449,32 @@ func (s *space) searchTask(root node) taskResult {
 			r.complete = false
 			return
 		}
-		if s.prune || n.depth == s.levels() {
-			score := s.opts.Objective.contribScore(n.acc.plus(s.suffixAt(n.depth)))
+		if s.prune || depth == s.levels() {
+			score := s.opts.Objective.contribScore(acc.plus(s.suffixAt(depth)))
 			if s.prune && s.pruneSubtree(score, r.score) {
 				return
 			}
-			if n.depth == s.levels() {
+			if depth == s.levels() {
 				// The suffix bound of a complete assignment is zero,
 				// so score is the exact leaf score here.
 				r.states++
 				s.leaves.Add(1)
 				if score < r.score || (!r.found && score <= r.score) {
-					r.best, r.score, r.found = n.cur.Clone(), score, true
+					r.best, r.score, r.found = st.materialize(), score, true
 					s.publishBest(score)
 				}
 				return
 			}
 		}
-		s.children(n, dfs)
+		for oi, nopts := 0, s.optionCount(depth); oi < nopts; oi++ {
+			if !st.apply(depth, oi) {
+				continue
+			}
+			dfs(depth+1, acc.plus(st.contribAt(depth, oi)))
+			st.undo(depth, oi)
+		}
 	}
-	dfs(root)
+	dfs(len(root.decisions), root.acc)
 	return r
 }
 

@@ -1,0 +1,317 @@
+package assign
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mhla/internal/lifetime"
+)
+
+// This file holds the mutable, allocation-free inner-loop state of the
+// exact search engines (bnb.go). The engines used to deep-clone the
+// whole Assignment at every child node and rebuild each layer's
+// lifetime profile from scratch inside Fits; searchState instead
+// applies one decision at a time against incremental per-layer
+// occupancy trackers and undoes it on backtrack, so the steady-state
+// DFS allocates nothing. A full Assignment is materialized only at
+// improved leaves.
+
+// objDesc is one precomputed space consumer of a chain decision: the
+// layer it occupies plus the ready-made lifetime object (ID string,
+// bytes, span), so placing it in the hot loop is a table lookup with
+// no formatting or slice building.
+type objDesc struct {
+	layer int
+	obj   lifetime.Object
+}
+
+// optionKey encodes a chain selection (levels, layers) as a compact
+// string key, so the enumerated options of a chain can be indexed by a
+// map instead of compared pairwise (hasOption used to linear-scan with
+// slice equality per greedy-seed check).
+func optionKey(levels, layers []int) string {
+	var b strings.Builder
+	for i := range levels {
+		b.WriteString(strconv.Itoa(levels[i]))
+		b.WriteByte('@')
+		b.WriteString(strconv.Itoa(layers[i]))
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// buildTables precomputes the per-decision tables the incremental
+// search reads in its hot loop:
+//
+//   - arrayContribTab[ai][hi]: the exact cost contribution of homing
+//     array ai at arrayOpts[ai][hi] (aligned with arrayOpts);
+//   - chainContribTab[ci][home*len(opts)+oi]: the contribution of
+//     chain ci under each (home layer, option) pair — chainContrib
+//     depends only on that pair, so per-child cost accumulation
+//     becomes one lookup plus add;
+//   - chainObjs[ci][oi]: the space consumers option oi places, as
+//     ready-made lifetime objects;
+//   - arrayObjs/arrayUsed: each array's lifetime object (unused arrays
+//     occupy nothing, as in Assignment.Objects);
+//   - chainArrayIdx[ci]: index of the chain's array in s.arrays;
+//   - optIndex[ci]: option-key -> option index, for O(1) greedy-seed
+//     mapping.
+func (s *space) buildTables(spans map[string]lifetime.Span) {
+	s.arrayObjs = make([]lifetime.Object, len(s.arrays))
+	s.arrayUsed = make([]bool, len(s.arrays))
+	s.arrayContribTab = make([][]contrib, len(s.arrays))
+	arrayIdx := make(map[string]int, len(s.arrays))
+	for i, arr := range s.arrays {
+		sp := spans[arr.Name]
+		s.arrayUsed[i] = sp.Used
+		s.arrayObjs[i] = lifetime.Object{ID: arr.Name, Bytes: arr.Bytes(), Start: sp.Start, End: sp.End}
+		arrayIdx[arr.Name] = i
+		tab := make([]contrib, len(s.arrayOpts[i]))
+		for hi, home := range s.arrayOpts[i] {
+			tab[hi] = arrayContrib(s.plat, arr, home)
+		}
+		s.arrayContribTab[i] = tab
+	}
+
+	nlayers := len(s.plat.Layers)
+	s.chainContribTab = make([][]contrib, len(s.chains))
+	s.chainObjs = make([][][]objDesc, len(s.chains))
+	s.chainArrayIdx = make([]int, len(s.chains))
+	s.optIndex = make([]map[string]int, len(s.chains))
+	for ci, ch := range s.chains {
+		opts := s.chainOpts[ci]
+		s.chainArrayIdx[ci] = arrayIdx[ch.Array.Name]
+		tab := make([]contrib, nlayers*len(opts))
+		for home := 0; home < nlayers; home++ {
+			for oi, op := range opts {
+				tab[home*len(opts)+oi] = chainContrib(s.plat, s.opts.Policy, ch, home, op.levels, op.layers)
+			}
+		}
+		s.chainContribTab[ci] = tab
+		objs := make([][]objDesc, len(opts))
+		idx := make(map[string]int, len(opts))
+		for oi, op := range opts {
+			for k, lv := range op.levels {
+				// During the search no time-extension Extras exist, so
+				// a copy occupies exactly its candidate bytes in its
+				// chain's block — the same object Assignment.Objects
+				// would build for the materialized assignment.
+				objs[oi] = append(objs[oi], objDesc{
+					layer: op.layers[k],
+					obj: lifetime.Object{
+						ID:    fmt.Sprintf("%s@%d", ch.ID, lv),
+						Bytes: ch.Candidate(lv).Bytes,
+						Start: ch.BlockIndex,
+						End:   ch.BlockIndex,
+					},
+				})
+			}
+			idx[optionKey(op.levels, op.layers)] = oi
+		}
+		s.chainObjs[ci] = objs
+		s.optIndex[ci] = idx
+	}
+}
+
+// searchState is the mutable position of one DFS worker in the
+// decision tree. It is built once per subtree task (and once for root
+// expansion), then mutated in place: apply takes one decision, undo
+// reverts it. All slices are preallocated; the apply/undo hot path
+// performs no heap allocation.
+type searchState struct {
+	sp *space
+	// trackers holds one incremental occupancy profile per bounded
+	// layer (nil for layers with Capacity 0, which Fits ignores).
+	trackers []*lifetime.Tracker
+	// homes is the current home layer of every array (index-aligned
+	// with sp.arrays); undecided arrays sit on the background layer,
+	// which is also the out-of-the-box placement.
+	homes []int
+	// chainSel is the selected option index per chain, -1 while
+	// undecided.
+	chainSel []int
+}
+
+// newSearchState returns the root state: every array homed on the
+// background layer (its objects placed in the background tracker when
+// that layer is bounded) and no chain selections.
+func newSearchState(s *space) *searchState {
+	st := &searchState{
+		sp:       s,
+		trackers: make([]*lifetime.Tracker, len(s.plat.Layers)),
+		homes:    make([]int, len(s.arrays)),
+		chainSel: make([]int, len(s.chains)),
+	}
+	for i := range s.plat.Layers {
+		if s.plat.Layers[i].Capacity > 0 {
+			st.trackers[i] = lifetime.NewTracker(s.nblocks, s.opts.InPlace)
+		}
+	}
+	for ai := range s.arrays {
+		st.homes[ai] = s.bg
+		if s.arrayUsed[ai] {
+			if tr := st.trackers[s.bg]; tr != nil {
+				tr.Place(s.arrayObjs[ai])
+			}
+		}
+	}
+	for ci := range s.chains {
+		st.chainSel[ci] = -1
+	}
+	return st
+}
+
+// fits reports whether every bounded layer's peak occupancy is within
+// its capacity — the incremental equivalent of Assignment.Fits, an
+// O(layers) check over maintained peaks instead of a from-scratch
+// profile rebuild.
+func (st *searchState) fits() bool {
+	for i, tr := range st.trackers {
+		if tr != nil && tr.Peak() > st.sp.plat.Layers[i].Capacity {
+			return false
+		}
+	}
+	return true
+}
+
+// moveArray rehomes array ai, moving its lifetime object between the
+// affected layer trackers.
+func (st *searchState) moveArray(ai, from, to int) {
+	st.homes[ai] = to
+	if !st.sp.arrayUsed[ai] {
+		return
+	}
+	if tr := st.trackers[from]; tr != nil {
+		tr.Unplace(st.sp.arrayObjs[ai])
+	}
+	if tr := st.trackers[to]; tr != nil {
+		tr.Place(st.sp.arrayObjs[ai])
+	}
+}
+
+// apply takes decision oi at the given depth (an array home while
+// depth < len(arrays), a chain selection after) and reports whether
+// the resulting position is feasible. Infeasible decisions —
+// structurally invalid options or capacity overflows — are fully
+// undone before returning false, so the state is unchanged. Feasible
+// decisions must be reverted with undo(depth, oi).
+//
+// Feasibility mirrors the clone-per-node engine exactly: trivial
+// decisions (background home, empty selection) are taken without a
+// capacity check, and non-trivial ones check every bounded layer.
+func (st *searchState) apply(depth, oi int) bool {
+	s := st.sp
+	if depth < len(s.arrays) {
+		home := s.arrayOpts[depth][oi]
+		if home == s.bg {
+			return true
+		}
+		st.moveArray(depth, s.bg, home)
+		if !st.fits() {
+			st.moveArray(depth, home, s.bg)
+			return false
+		}
+		return true
+	}
+	ci := depth - len(s.arrays)
+	op := &s.chainOpts[ci][oi]
+	if len(op.layers) > 0 && op.layers[0] >= st.homes[s.chainArrayIdx[ci]] {
+		return false
+	}
+	st.chainSel[ci] = oi
+	if len(op.levels) == 0 {
+		return true
+	}
+	for _, od := range s.chainObjs[ci][oi] {
+		if tr := st.trackers[od.layer]; tr != nil {
+			tr.Place(od.obj)
+		}
+	}
+	if !st.fits() {
+		st.undo(depth, oi)
+		return false
+	}
+	return true
+}
+
+// undo reverts a decision previously applied at the given depth,
+// restoring the state to the position before apply(depth, oi).
+func (st *searchState) undo(depth, oi int) {
+	s := st.sp
+	if depth < len(s.arrays) {
+		if home := s.arrayOpts[depth][oi]; home != s.bg {
+			st.moveArray(depth, home, s.bg)
+		}
+		return
+	}
+	ci := depth - len(s.arrays)
+	st.chainSel[ci] = -1
+	for _, od := range s.chainObjs[ci][oi] {
+		if tr := st.trackers[od.layer]; tr != nil {
+			tr.Unplace(od.obj)
+		}
+	}
+}
+
+// contribAt returns the precomputed cost contribution of decision oi
+// at the given depth. Chain contributions depend on the current home
+// of the chain's array, so this must be read while the array prefix is
+// applied.
+func (st *searchState) contribAt(depth, oi int) contrib {
+	s := st.sp
+	if depth < len(s.arrays) {
+		return s.arrayContribTab[depth][oi]
+	}
+	ci := depth - len(s.arrays)
+	home := st.homes[s.chainArrayIdx[ci]]
+	return s.chainContribTab[ci][home*len(s.chainOpts[ci])+oi]
+}
+
+// applyPrefix replays a decision prefix produced by root expansion.
+// Prefixes are feasible by construction; a failing replay means the
+// engine's determinism is broken.
+func (st *searchState) applyPrefix(decisions []int) {
+	for depth, oi := range decisions {
+		if !st.apply(depth, oi) {
+			panic("assign: infeasible search-prefix replay")
+		}
+	}
+}
+
+// rewindPrefix undoes a prefix applied with applyPrefix.
+func (st *searchState) rewindPrefix(decisions []int) {
+	for depth := len(decisions) - 1; depth >= 0; depth-- {
+		st.undo(depth, decisions[depth])
+	}
+}
+
+// materialize builds a full Assignment from the current decisions —
+// identical to the one the clone-per-node engine carried at the same
+// tree position. Called only at improved leaves and in tests; the hot
+// loop never materializes.
+func (st *searchState) materialize() *Assignment {
+	s := st.sp
+	a := s.start.Clone()
+	for ai, arr := range s.arrays {
+		if st.homes[ai] != s.bg {
+			a.SetHome(arr.Name, st.homes[ai])
+		}
+	}
+	for ci, ch := range s.chains {
+		oi := st.chainSel[ci]
+		if oi < 0 {
+			continue
+		}
+		op := &s.chainOpts[ci][oi]
+		if len(op.levels) == 0 {
+			continue
+		}
+		a.Chains[ch.ID] = &ChainAssign{
+			Chain:  ch,
+			Levels: append([]int(nil), op.levels...),
+			Layers: append([]int(nil), op.layers...),
+		}
+	}
+	return a
+}
