@@ -20,6 +20,8 @@ package mhla_test
 import (
 	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"mhla/internal/apps"
@@ -286,6 +288,123 @@ func BenchmarkParallelBnB(b *testing.B) {
 			}
 			b.ReportMetric(float64(res.States), "bnb_states")
 			b.ReportMetric(float64(sc.Space), "space_leaves")
+		})
+	}
+}
+
+// freshSweep evaluates every size with its own full flow run —
+// validate + analyze + tables per point, the pre-workspace behavior —
+// over w concurrent workers. It returns the summed MHLA+TE cycles as
+// a cross-check value.
+func freshSweep(b *testing.B, prog *mhla.Program, sizes []int64, w int) int64 {
+	b.Helper()
+	results := make([]*mhla.Result, len(sizes))
+	if w <= 1 {
+		for i, l1 := range sizes {
+			results[i] = runSweepPoint(b, prog, l1, nil)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		errs := make([]error, len(sizes))
+		for g := 0; g < w; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(sizes) {
+						return
+					}
+					results[i], errs[i] = mhla.Run(context.Background(), prog, mhla.WithL1(sizes[i]))
+				}
+			}()
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	var total int64
+	for _, r := range results {
+		total += r.TE.Cycles
+	}
+	return total
+}
+
+func runSweepPoint(b *testing.B, prog *mhla.Program, l1 int64, opts []mhla.Option) *mhla.Result {
+	b.Helper()
+	res, err := mhla.Run(context.Background(), prog, append([]mhla.Option{mhla.WithL1(l1)}, opts...)...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkWorkspaceSweep measures the compile-once workspace against
+// fresh per-point flow runs over the standard L1 sweep (9 sizes) of
+// the flagship application:
+//
+//	fresh/workers=N  — every sweep point validates, analyzes and
+//	                   rebuilds the program-side tables itself (the
+//	                   pre-workspace behavior), N points in flight
+//	shared/workers=N — one workspace.Compile per sweep, the points
+//	                   fan out over the concurrent sweep pool and
+//	                   share it read-only
+//
+// Results are verified identical between the two modes on every
+// iteration (summed MHLA+TE cycles). Allocations are reported: the
+// shared mode performs the analysis allocations once instead of once
+// per point. Wall-clock speedup of workers=4 over workers=1 requires
+// actual cores — on a single-CPU host the points time-slice and tie.
+// Measured numbers are recorded in BENCH_WORKSPACE_SWEEP.json.
+func BenchmarkWorkspaceSweep(b *testing.B) {
+	app, err := apps.ByName("qsdpcm")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog := app.Build(apps.Paper)
+	sizes := mhla.DefaultSweepSizes()
+	var ref int64
+	for _, w := range []int{1, 4} {
+		w := w
+		b.Run(fmt.Sprintf("fresh/workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			var total int64
+			for i := 0; i < b.N; i++ {
+				total = freshSweep(b, prog, sizes, w)
+			}
+			if ref == 0 {
+				ref = total
+			} else if total != ref {
+				b.Fatalf("fresh sweep (workers=%d) diverged: %d != %d", w, total, ref)
+			}
+			b.ReportMetric(float64(len(sizes)), "sweep_points")
+		})
+		b.Run(fmt.Sprintf("shared/workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			var total int64
+			for i := 0; i < b.N; i++ {
+				ws, err := mhla.Compile(prog)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sw, err := mhla.SweepL1(context.Background(), prog, sizes,
+					mhla.WithWorkspace(ws), mhla.WithSweepWorkers(w))
+				if err != nil {
+					b.Fatal(err)
+				}
+				total = 0
+				for _, pt := range sw.Points {
+					total += pt.Result.TE.Cycles
+				}
+			}
+			if ref != 0 && total != ref {
+				b.Fatalf("shared sweep (workers=%d) diverged from fresh: %d != %d", w, total, ref)
+			}
+			b.ReportMetric(float64(len(sizes)), "sweep_points")
 		})
 	}
 }

@@ -5,11 +5,16 @@
 // (optionally) CSV for external plotting. This regenerates the
 // paper's trade-off exploration (experiment E1 in DESIGN.md).
 //
+// The program is compiled once (analysis, lifetime tables) and the
+// sweep points are evaluated concurrently; -workers bounds both the
+// sweep pool and the batch Explorer pool.
+//
 // Usage:
 //
 //	mhla-explore -app qsdpcm
 //	mhla-explore -app me -sizes 512,1024,2048,4096
 //	mhla-explore -app cavity -csv > cavity.csv
+//	mhla-explore -app qsdpcm -workers 4 -json > sweep.json
 //	mhla-explore -apps me,qsdpcm,durbin -workers 8   # concurrent batch
 //	mhla-explore -apps me,qsdpcm -csv > batch.csv    # batch as CSV
 package main
@@ -32,8 +37,9 @@ func main() {
 		appsCSV  = flag.String("apps", "", "comma-separated applications for a concurrent batch grid (overrides -app)")
 		sizeCSV  = flag.String("sizes", "", "comma-separated L1 sizes in bytes (default 256..64K powers of two)")
 		scale    = flag.String("scale", "paper", "workload scale: paper or test")
-		workers  = flag.Int("workers", 0, "batch worker count (0 = GOMAXPROCS)")
+		workers  = flag.Int("workers", 0, "sweep/batch worker count (0 = GOMAXPROCS)")
 		emitCSV  = flag.Bool("csv", false, "emit CSV instead of tables")
+		emitJSON = flag.Bool("json", false, "emit the sweep as JSON (single-app mode)")
 		progress = flag.Bool("progress", false, "report batch progress on stderr")
 	)
 	flag.Parse()
@@ -54,6 +60,9 @@ func main() {
 	}
 
 	if *appsCSV != "" {
+		if *emitJSON {
+			fatal(fmt.Errorf("-json applies to the single-app sweep (use -csv for batches)"))
+		}
 		batch(*appsCSV, sc, sizes, *workers, *progress, *emitCSV)
 		return
 	}
@@ -62,9 +71,18 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	sw, err := mhla.SweepL1(context.Background(), app.Build(sc), sizes)
+	sw, err := mhla.SweepL1(context.Background(), app.Build(sc), sizes,
+		mhla.WithSweepWorkers(*workers))
 	if err != nil {
 		fatal(err)
+	}
+	if *emitJSON {
+		out, err := sw.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(out))
+		return
 	}
 	if *emitCSV {
 		fmt.Print(sw.CSV())

@@ -17,9 +17,9 @@ import (
 	"sort"
 
 	"mhla/internal/lifetime"
-	"mhla/internal/model"
 	"mhla/internal/platform"
 	"mhla/internal/reuse"
+	"mhla/internal/workspace"
 )
 
 // StreamKey identifies one block-transfer stream: all transfers of one
@@ -65,7 +65,9 @@ func (ca *ChainAssign) clone() *ChainAssign {
 }
 
 // Assignment is a complete layer-assignment decision for a program on
-// a platform.
+// a platform. Assignments must be built with New or NewInWorkspace
+// (or cloned from one) — they carry unexported compile-once state, so
+// a struct literal is not a usable assignment.
 type Assignment struct {
 	// Analysis is the reuse analysis the assignment selects from.
 	Analysis *reuse.Analysis
@@ -84,34 +86,45 @@ type Assignment struct {
 	// Extras holds per-stream space added by the time-extension step.
 	Extras map[StreamKey]Extra
 
-	// chainByID indexes Analysis.Chains by ID. It is built once by New
-	// and shared by Clone (the analysis is immutable), so chain lookups
-	// are O(1) instead of a linear scan per call.
-	chainByID map[string]*reuse.Chain
+	// ws is the compile-once program-side analysis the assignment
+	// reads instead of recomputing: array lifetime spans and objects,
+	// candidate lifetime objects, the chain index, writer blocks and
+	// block compute cycles. It is immutable and shared by Clone.
+	ws *workspace.Workspace
 }
 
 // New returns the out-of-the-box assignment: every array in background
 // memory and no copies. This is the paper's "original code" baseline.
+// It compiles a workspace for the analysis; callers holding one
+// already (the engines, the flow layers) use NewInWorkspace so the
+// program-side tables are built exactly once.
 func New(an *reuse.Analysis, plat *platform.Platform, policy reuse.Policy) *Assignment {
+	return NewInWorkspace(workspace.FromAnalysis(an), plat, policy)
+}
+
+// NewInWorkspace returns the out-of-the-box assignment over a
+// precompiled workspace.
+func NewInWorkspace(ws *workspace.Workspace, plat *platform.Platform, policy reuse.Policy) *Assignment {
 	a := &Assignment{
-		Analysis:  an,
+		Analysis:  ws.Analysis,
 		Platform:  plat,
 		Policy:    policy,
 		InPlace:   true,
-		ArrayHome: make(map[string]int, len(an.Program.Arrays)),
+		ArrayHome: make(map[string]int, len(ws.Arrays)),
 		Chains:    make(map[string]*ChainAssign),
 		Extras:    make(map[StreamKey]Extra),
-		chainByID: make(map[string]*reuse.Chain, len(an.Chains)),
-	}
-	for _, ch := range an.Chains {
-		a.chainByID[ch.ID] = ch
+		ws:        ws,
 	}
 	bg := plat.Background()
-	for _, arr := range an.Program.Arrays {
+	for _, arr := range ws.Arrays {
 		a.ArrayHome[arr.Name] = bg
 	}
 	return a
 }
+
+// Workspace returns the compile-once program-side analysis backing
+// the assignment.
+func (a *Assignment) Workspace() *workspace.Workspace { return a.ws }
 
 // Clone returns a deep copy sharing the immutable analysis/platform.
 func (a *Assignment) Clone() *Assignment {
@@ -123,7 +136,7 @@ func (a *Assignment) Clone() *Assignment {
 		ArrayHome: make(map[string]int, len(a.ArrayHome)),
 		Chains:    make(map[string]*ChainAssign, len(a.Chains)),
 		Extras:    make(map[StreamKey]Extra, len(a.Extras)),
-		chainByID: a.chainByID,
+		ws:        a.ws,
 	}
 	for k, v := range a.ArrayHome {
 		c.ArrayHome[k] = v
@@ -140,7 +153,7 @@ func (a *Assignment) Clone() *Assignment {
 // chain returns the chain with the given ID. Every Assignment is
 // built by New (or cloned from one), so the index is always present.
 func (a *Assignment) chain(id string) *reuse.Chain {
-	return a.chainByID[id]
+	return a.ws.ChainByID[id]
 }
 
 // Select adds copy candidate (chainID, level) at the given layer,
@@ -235,49 +248,37 @@ func (a *Assignment) Validate() error {
 
 // Objects returns the space consumers placed on the given layer, in
 // deterministic order: arrays homed there plus selected copies (with
-// any time-extension extras).
+// any time-extension extras). The array spans and the base candidate
+// objects come precomputed from the workspace — this used to rerun
+// lifetime.ArraySpans and re-sort the array list on every call, on
+// the hot path of every Fits check.
 func (a *Assignment) Objects(layer int) []lifetime.Object {
 	var objs []lifetime.Object
-	spans := lifetime.ArraySpans(a.Analysis.Program)
-	arrays := append([]*model.Array(nil), a.Analysis.Program.Arrays...)
-	sort.Slice(arrays, func(i, j int) bool { return arrays[i].Name < arrays[j].Name })
-	for _, arr := range arrays {
-		if a.ArrayHome[arr.Name] != layer {
+	for i, arr := range a.ws.Arrays {
+		if a.ArrayHome[arr.Name] != layer || !a.ws.ArrayUsed[i] {
 			continue
 		}
-		sp := spans[arr.Name]
-		if !sp.Used {
-			continue
-		}
-		objs = append(objs, lifetime.Object{
-			ID: arr.Name, Bytes: arr.Bytes(), Start: sp.Start, End: sp.End,
-		})
+		objs = append(objs, a.ws.ArrayObjs[i])
 	}
 	for _, id := range a.chainIDs() {
 		ca := a.Chains[id]
+		ci := a.ws.ChainIndex[id]
 		for i, lv := range ca.Levels {
 			if ca.Layers[i] != layer {
 				continue
 			}
-			cand := ca.Chain.Candidate(lv)
-			start := ca.Chain.BlockIndex
-			bytes := cand.Bytes
-			for class := range cand.Classes {
+			obj := a.ws.CandObjs[ci][lv]
+			for class := range ca.Chain.Candidate(lv).Classes {
 				ex, ok := a.Extras[StreamKey{Chain: id, Level: lv, Class: class}]
 				if !ok {
 					continue
 				}
-				bytes += ex.Bytes
-				if s := ca.Chain.BlockIndex - ex.HoistBlocks; s < start {
-					start = s
+				obj.Bytes += ex.Bytes
+				if s := ca.Chain.BlockIndex - ex.HoistBlocks; s < obj.Start {
+					obj.Start = s
 				}
 			}
-			objs = append(objs, lifetime.Object{
-				ID:    fmt.Sprintf("%s@%d", id, lv),
-				Bytes: bytes,
-				Start: start,
-				End:   ca.Chain.BlockIndex,
-			})
+			objs = append(objs, obj)
 		}
 	}
 	return objs
@@ -286,8 +287,7 @@ func (a *Assignment) Objects(layer int) []lifetime.Object {
 // PeakUsage returns the peak occupancy of the given layer under the
 // assignment's in-place setting.
 func (a *Assignment) PeakUsage(layer int) int64 {
-	est := lifetime.NewEstimator(a.Analysis.Program)
-	est.InPlace = a.InPlace
+	est := &lifetime.Estimator{NumBlocks: a.ws.NBlocks, InPlace: a.InPlace}
 	return est.Peak(a.Objects(layer))
 }
 

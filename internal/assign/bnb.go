@@ -4,7 +4,6 @@ import (
 	"context"
 	"math"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -12,6 +11,7 @@ import (
 	"mhla/internal/model"
 	"mhla/internal/platform"
 	"mhla/internal/reuse"
+	"mhla/internal/workspace"
 )
 
 // contrib is the decomposed cost contribution of one decision (a
@@ -153,6 +153,7 @@ type rootNode struct {
 // incumbent).
 type space struct {
 	ctx    context.Context
+	ws     *workspace.Workspace
 	plat   *platform.Platform
 	opts   Options
 	prune  bool
@@ -207,10 +208,12 @@ type space struct {
 	progressMu sync.Mutex
 }
 
-// newSpace precomputes the decision tables of an exact search.
-func newSpace(ctx context.Context, an *reuse.Analysis, plat *platform.Platform, opts Options, prune bool) *space {
+// newSpace precomputes the platform-dependent decision tables of an
+// exact search over the workspace's program-side tables.
+func newSpace(ctx context.Context, ws *workspace.Workspace, plat *platform.Platform, opts Options, prune bool) *space {
 	s := &space{
 		ctx:    ctx,
+		ws:     ws,
 		plat:   plat,
 		opts:   opts,
 		prune:  prune,
@@ -221,8 +224,9 @@ func newSpace(ctx context.Context, an *reuse.Analysis, plat *platform.Platform, 
 		s.engine = BranchBound
 	}
 
-	s.arrays = append([]*model.Array(nil), an.Program.Arrays...)
-	sort.Slice(s.arrays, func(i, j int) bool { return s.arrays[i].Name < s.arrays[j].Name })
+	// The decision order (arrays sorted by name, chains in analysis
+	// order) is the workspace's table order.
+	s.arrays = ws.Arrays
 	s.arrayOpts = make([][]int, len(s.arrays))
 	for i, arr := range s.arrays {
 		homes := []int{s.bg}
@@ -233,14 +237,14 @@ func newSpace(ctx context.Context, an *reuse.Analysis, plat *platform.Platform, 
 		}
 		s.arrayOpts[i] = homes
 	}
-	s.chains = an.Chains
+	s.chains = ws.Chains
 	s.chainOpts = make([][]option, len(s.chains))
 	for i, ch := range s.chains {
 		s.chainOpts[i] = chainOptionsFor(plat, ch)
 	}
 
-	s.nblocks = len(an.Program.Blocks)
-	s.buildTables(lifetime.ArraySpans(an.Program))
+	s.nblocks = ws.NBlocks
+	s.buildTables()
 
 	// Per-chain optimistic contributions (min over homes and options),
 	// used as lower bounds for undecided chains. Reads the precomputed
@@ -272,8 +276,8 @@ func newSpace(ctx context.Context, an *reuse.Analysis, plat *platform.Platform, 
 		s.suffix[i] = s.suffix[i+1].plus(minChain[i])
 	}
 
-	s.base = contrib{cycles: an.Program.ComputeCycles()}
-	s.start = New(an, plat, opts.Policy)
+	s.base = contrib{cycles: ws.TotalCompute}
+	s.start = NewInWorkspace(ws, plat, opts.Policy)
 	s.start.InPlace = opts.InPlace
 	s.seedScore = math.Inf(1)
 	s.bestBits.Store(math.Float64bits(math.Inf(1)))
@@ -309,10 +313,10 @@ func (s *space) suffixAt(depth int) contrib {
 // its result does not map onto the decision tables. The mapping is
 // O(1) per decision: homes are matched against the (tiny) per-array
 // home list, selections against the option-key index.
-func (s *space) seedIncumbent(an *reuse.Analysis) bool {
+func (s *space) seedIncumbent() bool {
 	gopts := s.opts
 	gopts.Progress = nil
-	gr := greedySearch(s.ctx, an, s.plat, gopts)
+	gr := greedySearch(s.ctx, s.ws, s.plat, gopts)
 	if gr == nil {
 		return false
 	}
@@ -520,10 +524,10 @@ func (s *space) tick() {
 // without it the exhaustive reference engine. The Result is
 // byte-identical at every worker count; exactSearch returns nil if
 // ctx is cancelled before the search finishes.
-func exactSearch(ctx context.Context, an *reuse.Analysis, plat *platform.Platform, opts Options, prune bool) *Result {
-	s := newSpace(ctx, an, plat, opts, prune)
+func exactSearch(ctx context.Context, ws *workspace.Workspace, plat *platform.Platform, opts Options, prune bool) *Result {
+	s := newSpace(ctx, ws, plat, opts, prune)
 	if prune {
-		s.seedIncumbent(an)
+		s.seedIncumbent()
 	}
 	if ctx.Err() != nil {
 		return nil

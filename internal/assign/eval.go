@@ -137,8 +137,10 @@ func (a *Assignment) Evaluate(opts EvalOptions) Cost {
 	blocks := make([]acct, nblocks)
 	cost := Cost{PerLayerAccesses: make([]int64, len(a.Platform.Layers))}
 
-	for bi, b := range p.Blocks {
-		blocks[bi].compute = b.ComputeCycles()
+	// Pure-compute cycles come precomputed from the workspace instead
+	// of walking every loop body per evaluation.
+	for bi := range p.Blocks {
+		blocks[bi].compute = a.ws.BlockCompute[bi]
 		cost.ComputeCycles += blocks[bi].compute
 	}
 

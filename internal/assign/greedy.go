@@ -5,7 +5,7 @@ import (
 	"sort"
 
 	"mhla/internal/platform"
-	"mhla/internal/reuse"
+	"mhla/internal/workspace"
 )
 
 // move is one greedy step: either instantiating a copy candidate on a
@@ -24,8 +24,8 @@ type move struct {
 // memory, no copies) and repeatedly apply the feasible move with the
 // best gain until no move improves the objective. It returns nil if
 // ctx is cancelled before the search converges.
-func greedySearch(ctx context.Context, an *reuse.Analysis, plat *platform.Platform, opts Options) *Result {
-	cur := New(an, plat, opts.Policy)
+func greedySearch(ctx context.Context, ws *workspace.Workspace, plat *platform.Platform, opts Options) *Result {
+	cur := NewInWorkspace(ws, plat, opts.Policy)
 	cur.InPlace = opts.InPlace
 	curCost := cur.Evaluate(EvalOptions{})
 	curScore := opts.Objective.Score(curCost)

@@ -6,6 +6,7 @@ import (
 
 	"mhla/internal/platform"
 	"mhla/internal/reuse"
+	"mhla/internal/workspace"
 )
 
 // Objective selects what the assignment search minimizes.
@@ -233,8 +234,21 @@ func Search(an *reuse.Analysis, plat *platform.Platform, opts Options) (*Result,
 
 // SearchContext runs the assignment step on an analyzed program,
 // honoring cancellation and deadlines: when ctx is cancelled the
-// engines stop promptly and SearchContext returns ctx.Err().
+// engines stop promptly and SearchContext returns ctx.Err(). It
+// compiles the program-side workspace tables itself; callers that
+// evaluate one program on many platforms (the L1 sweep, the batch
+// Explorer) compile once and call SearchWorkspace instead.
 func SearchContext(ctx context.Context, an *reuse.Analysis, plat *platform.Platform, opts Options) (*Result, error) {
+	return SearchWorkspace(ctx, workspace.FromAnalysis(an), plat, opts)
+}
+
+// SearchWorkspace runs the assignment step over a precompiled
+// workspace. All engines read the workspace's program-side tables
+// (spans, lifetime objects, compute cycles) and rebuild only the
+// platform-dependent half (option catalogs, cost contributions) per
+// call, so evaluating one program against many platforms analyzes the
+// program exactly once.
+func SearchWorkspace(ctx context.Context, ws *workspace.Workspace, plat *platform.Platform, opts Options) (*Result, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
@@ -250,16 +264,16 @@ func SearchContext(ctx context.Context, an *reuse.Analysis, plat *platform.Platf
 	if opts.MaxStates == 0 {
 		opts.MaxStates = 500_000
 	}
-	baseline := New(an, plat, opts.Policy)
+	baseline := NewInWorkspace(ws, plat, opts.Policy)
 	baseline.InPlace = opts.InPlace
 	baseCost := baseline.Evaluate(EvalOptions{})
 
 	var res *Result
 	switch opts.Engine {
 	case Greedy:
-		res = greedySearch(ctx, an, plat, opts)
+		res = greedySearch(ctx, ws, plat, opts)
 	default: // BranchBound or Exhaustive; Validate rejected the rest.
-		res = exactSearch(ctx, an, plat, opts, opts.Engine == BranchBound)
+		res = exactSearch(ctx, ws, plat, opts, opts.Engine == BranchBound)
 	}
 	if res == nil {
 		return nil, ctx.Err()

@@ -1,7 +1,6 @@
 package assign
 
 import (
-	"fmt"
 	"strconv"
 	"strings"
 
@@ -42,7 +41,10 @@ func optionKey(levels, layers []int) string {
 }
 
 // buildTables precomputes the per-decision tables the incremental
-// search reads in its hot loop:
+// search reads in its hot loop. The program-side halves — each
+// array's lifetime object and used flag, each candidate's lifetime
+// object, the chain-to-array index — come ready-made from the
+// workspace; only the platform-dependent halves are built per search:
 //
 //   - arrayContribTab[ai][hi]: the exact cost contribution of homing
 //     array ai at arrayOpts[ai][hi] (aligned with arrayOpts);
@@ -52,21 +54,14 @@ func optionKey(levels, layers []int) string {
 //     becomes one lookup plus add;
 //   - chainObjs[ci][oi]: the space consumers option oi places, as
 //     ready-made lifetime objects;
-//   - arrayObjs/arrayUsed: each array's lifetime object (unused arrays
-//     occupy nothing, as in Assignment.Objects);
-//   - chainArrayIdx[ci]: index of the chain's array in s.arrays;
 //   - optIndex[ci]: option-key -> option index, for O(1) greedy-seed
 //     mapping.
-func (s *space) buildTables(spans map[string]lifetime.Span) {
-	s.arrayObjs = make([]lifetime.Object, len(s.arrays))
-	s.arrayUsed = make([]bool, len(s.arrays))
+func (s *space) buildTables() {
+	s.arrayObjs = s.ws.ArrayObjs
+	s.arrayUsed = s.ws.ArrayUsed
+	s.chainArrayIdx = s.ws.ChainArrayIdx
 	s.arrayContribTab = make([][]contrib, len(s.arrays))
-	arrayIdx := make(map[string]int, len(s.arrays))
 	for i, arr := range s.arrays {
-		sp := spans[arr.Name]
-		s.arrayUsed[i] = sp.Used
-		s.arrayObjs[i] = lifetime.Object{ID: arr.Name, Bytes: arr.Bytes(), Start: sp.Start, End: sp.End}
-		arrayIdx[arr.Name] = i
 		tab := make([]contrib, len(s.arrayOpts[i]))
 		for hi, home := range s.arrayOpts[i] {
 			tab[hi] = arrayContrib(s.plat, arr, home)
@@ -77,11 +72,9 @@ func (s *space) buildTables(spans map[string]lifetime.Span) {
 	nlayers := len(s.plat.Layers)
 	s.chainContribTab = make([][]contrib, len(s.chains))
 	s.chainObjs = make([][][]objDesc, len(s.chains))
-	s.chainArrayIdx = make([]int, len(s.chains))
 	s.optIndex = make([]map[string]int, len(s.chains))
 	for ci, ch := range s.chains {
 		opts := s.chainOpts[ci]
-		s.chainArrayIdx[ci] = arrayIdx[ch.Array.Name]
 		tab := make([]contrib, nlayers*len(opts))
 		for home := 0; home < nlayers; home++ {
 			for oi, op := range opts {
@@ -95,16 +88,12 @@ func (s *space) buildTables(spans map[string]lifetime.Span) {
 			for k, lv := range op.levels {
 				// During the search no time-extension Extras exist, so
 				// a copy occupies exactly its candidate bytes in its
-				// chain's block — the same object Assignment.Objects
-				// would build for the materialized assignment.
+				// chain's block — the same workspace object
+				// Assignment.Objects reads for the materialized
+				// assignment.
 				objs[oi] = append(objs[oi], objDesc{
 					layer: op.layers[k],
-					obj: lifetime.Object{
-						ID:    fmt.Sprintf("%s@%d", ch.ID, lv),
-						Bytes: ch.Candidate(lv).Bytes,
-						Start: ch.BlockIndex,
-						End:   ch.BlockIndex,
-					},
+					obj:   s.ws.CandObjs[ci][lv],
 				})
 			}
 			idx[optionKey(op.levels, op.layers)] = oi

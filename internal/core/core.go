@@ -30,6 +30,7 @@ import (
 	"mhla/internal/reuse"
 	"mhla/internal/sim"
 	"mhla/internal/te"
+	"mhla/internal/workspace"
 )
 
 // Phase names a stage of the flow for progress reporting.
@@ -123,23 +124,74 @@ func Run(p *model.Program, cfg Config) (*Result, error) {
 
 // RunContext executes the full flow on a program, honoring ctx: when
 // it is cancelled mid-flow (including deep inside a long assignment
-// search) RunContext returns promptly with ctx.Err().
+// search) RunContext returns promptly with ctx.Err(). It compiles the
+// program's workspace (validation + data-reuse analysis + the
+// program-side tables) itself; callers evaluating one program on many
+// platforms compile once with workspace.Compile and call RunWorkspace
+// per platform instead.
 func RunContext(ctx context.Context, p *model.Program, cfg Config) (*Result, error) {
-	if cfg.Platform == nil {
-		return nil, fmt.Errorf("core: no platform configured")
+	search, enter, err := flowSetup(ctx, cfg)
+	if err != nil {
+		return nil, err
 	}
-	if err := cfg.Platform.Validate(); err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+	// Validate the program before the first progress callback, so a
+	// rejected input never emits a phantom PhaseAnalyze entry.
+	if p == nil {
+		return nil, fmt.Errorf("core: nil program")
 	}
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	if err := enter(PhaseAnalyze); err != nil {
+		return nil, err
+	}
+	ws, err := workspace.Compile(p)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return runCompiled(ctx, ws, cfg, search, enter)
+}
+
+// RunWorkspace executes the full flow over a precompiled workspace:
+// program validation, the data-reuse analysis and the program-side
+// tables are reused as-is, and only the platform-dependent work — the
+// assignment search, the time-extension scheduling, the operating
+// point evaluation — runs per call. The concurrent L1 sweep
+// (internal/explore) and the batch Explorer (pkg/mhla) fan many
+// RunWorkspace calls out against one shared workspace; the workspace
+// is immutable, so concurrent calls are safe.
+func RunWorkspace(ctx context.Context, ws *workspace.Workspace, cfg Config) (*Result, error) {
+	if ws == nil {
+		return nil, fmt.Errorf("core: nil workspace")
+	}
+	search, enter, err := flowSetup(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	// The analyze phase is entered for a uniform progress stream even
+	// though the compiled analysis makes it instantaneous.
+	if err := enter(PhaseAnalyze); err != nil {
+		return nil, err
+	}
+	return runCompiled(ctx, ws, cfg, search, enter)
+}
+
+// flowSetup validates the flow configuration and prepares the
+// normalized search options and the phase-entry hook shared by
+// RunContext and RunWorkspace.
+func flowSetup(ctx context.Context, cfg Config) (assign.Options, func(Phase) error, error) {
 	search := cfg.Search
+	if cfg.Platform == nil {
+		return search, nil, fmt.Errorf("core: no platform configured")
+	}
+	if err := cfg.Platform.Validate(); err != nil {
+		return search, nil, fmt.Errorf("core: %w", err)
+	}
 	if search.IsZero() {
 		search = assign.DefaultOptions()
 	}
 	if err := search.Validate(); err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+		return search, nil, fmt.Errorf("core: %w", err)
 	}
 	enter := func(ph Phase) error {
 		if err := ctx.Err(); err != nil {
@@ -150,22 +202,19 @@ func RunContext(ctx context.Context, p *model.Program, cfg Config) (*Result, err
 		}
 		return nil
 	}
-	search = WireSearchProgress(search, cfg.Progress)
+	return WireSearchProgress(search, cfg.Progress), enter, nil
+}
 
-	if err := enter(PhaseAnalyze); err != nil {
-		return nil, err
-	}
-	an, err := reuse.Analyze(p)
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-	res := &Result{Program: p, Platform: cfg.Platform, Analysis: an}
+// runCompiled is the flow from the assignment step on, over a
+// compiled workspace and validated configuration.
+func runCompiled(ctx context.Context, ws *workspace.Workspace, cfg Config, search assign.Options, enter func(Phase) error) (*Result, error) {
+	res := &Result{Program: ws.Program, Platform: cfg.Platform, Analysis: ws.Analysis}
 
 	// Step 1: assignment.
 	if err := enter(PhaseAssign); err != nil {
 		return nil, err
 	}
-	sr, err := assign.SearchContext(ctx, an, cfg.Platform, search)
+	sr, err := assign.SearchWorkspace(ctx, ws, cfg.Platform, search)
 	if err != nil {
 		if ctx.Err() != nil {
 			return nil, ctx.Err()

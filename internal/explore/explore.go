@@ -4,17 +4,29 @@
 // curve and its Pareto frontier. This is the "thorough trade-off
 // exploration for different memory layer sizes" the technique claims
 // as its purpose.
+//
+// The sweep compiles the program's workspace (validation, data-reuse
+// analysis, lifetime tables) exactly once and evaluates the sweep
+// points concurrently over a bounded worker pool: every point shares
+// the immutable workspace and rebuilds only the platform-dependent
+// half of the flow. Results are deterministic — Points come back in
+// size order and each point's Result is independent of scheduling.
 package explore
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"mhla/internal/assign"
 	"mhla/internal/core"
 	"mhla/internal/energy"
 	"mhla/internal/model"
 	"mhla/internal/pareto"
+	"mhla/internal/workspace"
 )
 
 // DefaultSizes returns the standard L1 sweep: 256 B to 64 KiB in
@@ -39,8 +51,22 @@ type Point struct {
 type Sweep struct {
 	// Program names the explored application.
 	Program string
-	// Points are the evaluated sizes, ascending.
+	// Points are the evaluated sizes, in the order they were given.
 	Points []Point
+}
+
+// Options configure a workspace sweep beyond the per-point flow
+// configuration.
+type Options struct {
+	// Config is the per-point flow configuration; Config.Platform is
+	// ignored (the sweep constructs the two-level platform per size).
+	// Config.Progress and Config.Search.Progress are serialized
+	// across points, so neither callback ever runs concurrently with
+	// itself.
+	Config core.Config
+	// Workers bounds the sweep points evaluated concurrently; <= 0
+	// means GOMAXPROCS. Results are identical at every worker count.
+	Workers int
 }
 
 // Run sweeps the given on-chip sizes for one program using the
@@ -60,7 +86,10 @@ func RunContext(ctx context.Context, p *model.Program, sizes []int64, opts assig
 
 // RunFlow is RunContext with the full flow configuration (progress
 // callbacks, DisableTE, ...); cfg.Platform is ignored — the sweep
-// constructs the two-level platform per size.
+// constructs the two-level platform per size. The program is compiled
+// once and the points run concurrently (GOMAXPROCS workers); use
+// SweepWorkspace directly to bound the workers or to reuse an
+// existing workspace.
 func RunFlow(ctx context.Context, p *model.Program, sizes []int64, cfg core.Config) (*Sweep, error) {
 	// Validate the search options once up front, so a bad
 	// configuration fails fast with the typed error instead of
@@ -70,20 +99,123 @@ func RunFlow(ctx context.Context, p *model.Program, sizes []int64, cfg core.Conf
 			return nil, fmt.Errorf("explore: %w", err)
 		}
 	}
+	ws, err := workspace.Compile(p)
+	if err != nil {
+		return nil, fmt.Errorf("explore: %w", err)
+	}
+	return SweepWorkspace(ctx, ws, sizes, Options{Config: cfg})
+}
+
+// SweepWorkspace sweeps the given on-chip sizes over a precompiled
+// workspace: the program-side analysis is shared read-only by every
+// point, and the points are evaluated concurrently on a bounded
+// worker pool. The returned Points are in input size order and
+// byte-identical to a sequential fresh-per-point sweep at every
+// worker count. A failing point stops further points from being
+// dispatched (points already in flight finish), and the lowest-index
+// failure is returned as the sweep error — each point's outcome is a
+// pure function of (workspace, size), so the reported error is
+// deterministic at every worker count. When ctx is cancelled the
+// sweep returns promptly with ctx.Err().
+func SweepWorkspace(ctx context.Context, ws *workspace.Workspace, sizes []int64, opts Options) (*Sweep, error) {
+	if ws == nil {
+		return nil, fmt.Errorf("explore: nil workspace")
+	}
+	cfg := opts.Config
+	if !cfg.Search.IsZero() {
+		if err := cfg.Search.Validate(); err != nil {
+			return nil, fmt.Errorf("explore: %w", err)
+		}
+	}
 	if len(sizes) == 0 {
 		sizes = DefaultSizes()
 	}
-	sw := &Sweep{Program: p.Name}
-	for _, l1 := range sizes {
-		cfg.Platform = energy.TwoLevel(l1)
-		res, err := core.RunContext(ctx, p, cfg)
-		if err != nil {
-			if ctx.Err() != nil {
-				return nil, ctx.Err()
-			}
-			return nil, fmt.Errorf("explore: size %d: %w", l1, err)
+	// Per-point flows run on worker goroutines; serialize the
+	// caller's progress callbacks — both the flow-level one and a
+	// search-level one configured on the options — so neither races
+	// with itself.
+	if cfg.Progress != nil {
+		var mu sync.Mutex
+		inner := cfg.Progress
+		cfg.Progress = func(pr core.Progress) {
+			mu.Lock()
+			defer mu.Unlock()
+			inner(pr)
 		}
-		sw.Points = append(sw.Points, Point{L1: l1, Result: res})
+	}
+	if cfg.Search.Progress != nil {
+		var mu sync.Mutex
+		inner := cfg.Search.Progress
+		cfg.Search.Progress = func(sp assign.Progress) {
+			mu.Lock()
+			defer mu.Unlock()
+			inner(sp)
+		}
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(sizes) {
+		workers = len(sizes)
+	}
+
+	// A point failure stops further dispatch; points already in
+	// flight run to completion so their own (deterministic) errors
+	// are never masked by a sibling's cancellation. Only the parent
+	// context aborts in-flight points.
+	results := make([]*core.Result, len(sizes))
+	errs := make([]error, len(sizes))
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(sizes) || failed.Load() || ctx.Err() != nil {
+					return
+				}
+				pcfg := cfg
+				pcfg.Platform = energy.TwoLevel(sizes[i])
+				res, err := core.RunWorkspace(ctx, ws, pcfg)
+				results[i], errs[i] = res, err
+				if err != nil {
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// Deterministic error selection: every recorded error is the
+	// point's own (no sibling cancelled it), so the lowest index wins
+	// at any worker count.
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("explore: size %d: %w", sizes[i], err)
+		}
+	}
+	sw := &Sweep{Program: ws.Program.Name}
+	for i, res := range results {
+		if res == nil {
+			// Defensive: a point was skipped or cancelled without any
+			// point reporting a real failure and without the parent
+			// context being cancelled.
+			err := errs[i]
+			if err == nil {
+				err = context.Canceled
+			}
+			return nil, fmt.Errorf("explore: size %d: %w", sizes[i], err)
+		}
+		sw.Points = append(sw.Points, Point{L1: sizes[i], Result: res})
 	}
 	return sw, nil
 }
@@ -117,6 +249,47 @@ func (s *Sweep) CSV() string {
 			r.Original.Energy, r.MHLA.Energy)
 	}
 	return out
+}
+
+// sweepJSON mirrors the modelio schema conventions (snake_case keys,
+// one object per point) for machine consumption of a sweep.
+type sweepJSON struct {
+	App    string      `json:"app"`
+	Points []pointJSON `json:"points"`
+}
+
+type pointJSON struct {
+	L1Bytes      int64   `json:"l1_bytes"`
+	OrigCycles   int64   `json:"orig_cycles"`
+	MHLACycles   int64   `json:"mhla_cycles"`
+	TECycles     int64   `json:"te_cycles"`
+	IdealCycles  int64   `json:"ideal_cycles"`
+	OrigPJ       float64 `json:"orig_pj"`
+	MHLAPJ       float64 `json:"mhla_pj"`
+	SearchStates int     `json:"search_states"`
+	TEApplicable bool    `json:"te_applicable"`
+}
+
+// JSON renders the sweep as indented JSON following the modelio
+// naming conventions, one object per sweep point, for external
+// tooling (plotting, regression tracking).
+func (s *Sweep) JSON() ([]byte, error) {
+	out := sweepJSON{App: s.Program, Points: make([]pointJSON, 0, len(s.Points))}
+	for _, p := range s.Points {
+		r := p.Result
+		out.Points = append(out.Points, pointJSON{
+			L1Bytes:      p.L1,
+			OrigCycles:   r.Original.Cycles,
+			MHLACycles:   r.MHLA.Cycles,
+			TECycles:     r.TE.Cycles,
+			IdealCycles:  r.Ideal.Cycles,
+			OrigPJ:       r.Original.Energy,
+			MHLAPJ:       r.MHLA.Energy,
+			SearchStates: r.SearchStates,
+			TEApplicable: r.Plan != nil && r.Plan.Applicable,
+		})
+	}
+	return json.MarshalIndent(out, "", "  ")
 }
 
 // String renders a compact sweep table with normalized values.

@@ -12,6 +12,7 @@
 package multitask
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -20,6 +21,7 @@ import (
 	"mhla/internal/core"
 	"mhla/internal/energy"
 	"mhla/internal/model"
+	"mhla/internal/workspace"
 )
 
 // Task is one application sharing the platform.
@@ -65,12 +67,16 @@ func grid(budget int64) []int64 {
 	return sizes
 }
 
-// taskCost evaluates one task at one partition size.
-func taskCost(t Task, l1 int64, opts assign.Options) (*core.Result, error) {
+// taskCost evaluates one task at one partition size over the task's
+// compile-once workspace (the partition sweep evaluates every task at
+// every grid size, so the program-side analysis is shared across the
+// whole row).
+func taskCost(ws *workspace.Workspace, l1 int64, opts assign.Options) (*core.Result, error) {
+	ctx := context.Background()
 	if l1 == 0 {
 		// No partition: the task runs out of the box. Evaluate on a
 		// minimal platform; the baseline ignores the scratchpad.
-		res, err := core.Run(t.Program, core.Config{Platform: energy.TwoLevel(256), DisableTE: true})
+		res, err := core.RunWorkspace(ctx, ws, core.Config{Platform: energy.TwoLevel(256), DisableTE: true})
 		if err != nil {
 			return nil, err
 		}
@@ -78,7 +84,7 @@ func taskCost(t Task, l1 int64, opts assign.Options) (*core.Result, error) {
 		res.MHLA, res.TE, res.Ideal = res.Original, res.Original, res.Original
 		return res, nil
 	}
-	return core.Run(t.Program, core.Config{Platform: energy.TwoLevel(l1), Search: opts})
+	return core.RunWorkspace(ctx, ws, core.Config{Platform: energy.TwoLevel(l1), Search: opts})
 }
 
 // Partition splits the budget among the tasks, minimizing the summed
@@ -108,9 +114,13 @@ func Partition(tasks []Task, budget int64, opts assign.Options) (*Plan, error) {
 	}
 	table := make([][]cell, len(tasks))
 	for ti, t := range tasks {
+		ws, err := workspace.Compile(t.Program)
+		if err != nil {
+			return nil, fmt.Errorf("multitask: task %q: %w", t.Name, err)
+		}
 		table[ti] = make([]cell, len(sizes))
 		for si, l1 := range sizes {
-			res, err := taskCost(t, l1, opts)
+			res, err := taskCost(ws, l1, opts)
 			if err != nil {
 				return nil, fmt.Errorf("multitask: task %q at %dB: %w", t.Name, l1, err)
 			}

@@ -6,6 +6,7 @@ import (
 
 	"mhla/internal/apps"
 	"mhla/internal/assign"
+	"mhla/internal/workspace"
 )
 
 func testTasks(t *testing.T, names ...string) []Task {
@@ -67,17 +68,25 @@ func TestPartitionOptimalVsBruteForce(t *testing.T) {
 		t.Fatal(err)
 	}
 	sizes := grid(budget)
+	ws0, err := workspace.Compile(tasks[0].Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws1, err := workspace.Compile(tasks[1].Program)
+	if err != nil {
+		t.Fatal(err)
+	}
 	best := 1e300
 	for _, s0 := range sizes {
 		for _, s1 := range sizes {
 			if s0+s1 > budget {
 				continue
 			}
-			r0, err := taskCost(tasks[0], s0, opts)
+			r0, err := taskCost(ws0, s0, opts)
 			if err != nil {
 				t.Fatal(err)
 			}
-			r1, err := taskCost(tasks[1], s1, opts)
+			r1, err := taskCost(ws1, s1, opts)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -31,7 +31,7 @@ import (
 
 	"mhla/internal/assign"
 	"mhla/internal/model"
-	"mhla/internal/reuse"
+	"mhla/internal/workspace"
 )
 
 // Stream is one block-transfer stream (all transfers of one update
@@ -119,7 +119,9 @@ func ExtendWithOptions(a *assign.Assignment, opts Options) (*Plan, error) {
 
 	iterCycles := work.IterCycles()
 	blockBusy := work.BlockBusyCycles()
-	writers := writerBlocks(work.Analysis.Program)
+	// The dependence table (which blocks write which arrays) comes
+	// precomputed from the assignment's workspace.
+	ws := work.Workspace()
 
 	// Step 1: collect BTs, estimate cycles, compute the sort factor
 	// and the dependence freedom. Only DMA transfers enter BT_list
@@ -133,7 +135,7 @@ func ExtendWithOptions(a *assign.Assignment, opts Options) (*Plan, error) {
 			Stream:     bst,
 			SortFactor: float64(bst.BTTime) / float64(bst.Bytes),
 		}
-		st.FreedomLoops = freedomLoops(work, st, writers, opts)
+		st.FreedomLoops = freedomLoops(ws, st, opts)
 		plan.Streams = append(plan.Streams, st)
 	}
 
@@ -161,10 +163,11 @@ func ExtendWithOptions(a *assign.Assignment, opts Options) (*Plan, error) {
 
 // extendStream applies the per-BT extension loop of Figure 1.
 func extendStream(work *assign.Assignment, st *Stream, iterCycles map[*model.Loop]int64, blockBusy []int64) {
-	if len(st.FreedomLoops) == 0 && !fillCanHoist(work, st) {
+	ws := work.Workspace()
+	if len(st.FreedomLoops) == 0 && !fillCanHoist(ws, st) {
 		return
 	}
-	chain := chainByID(work, st.ChainID)
+	chain := ws.ChainByID[st.ChainID]
 
 	if st.LoopIndex < 0 {
 		// Initial fill: prefetch during the previous top-level block.
@@ -210,40 +213,6 @@ func extendStream(work *assign.Assignment, st *Stream, iterCycles map[*model.Loo
 	}
 }
 
-// writerBlocks maps array names to the sorted block indices containing
-// write accesses to them.
-func writerBlocks(p *model.Program) map[string][]int {
-	seen := make(map[string]map[int]bool)
-	for _, ref := range p.Accesses() {
-		if ref.Access.Kind != model.Write {
-			continue
-		}
-		name := ref.Access.Array.Name
-		if seen[name] == nil {
-			seen[name] = make(map[int]bool)
-		}
-		seen[name][ref.BlockIndex] = true
-	}
-	out := make(map[string][]int, len(seen))
-	for name, blocks := range seen {
-		for b := range blocks {
-			out[name] = append(out[name], b)
-		}
-		sort.Ints(out[name])
-	}
-	return out
-}
-
-// writtenIn reports whether the array is written in the given block.
-func writtenIn(writers map[string][]int, array string, block int) bool {
-	for _, b := range writers[array] {
-		if b == block {
-			return true
-		}
-	}
-	return false
-}
-
 // freedomLoops computes the loops the BT initiation may be hoisted
 // across (dep_analysis + loops_between of Figure 1), innermost first:
 //
@@ -255,7 +224,11 @@ func writtenIn(writers map[string][]int, array string, block int) bool {
 //     copy's level — the parent's content would not be current yet;
 //   - otherwise the initiation may cross loops LoopIndex down to the
 //     parent level (or 0 for fetches from the array home).
-func freedomLoops(a *assign.Assignment, st *Stream, writers map[string][]int, opts Options) []int {
+//
+// The dependence table (WriterBlocks) and the chain index come from
+// the compile-once workspace; they used to be recomputed per Extend
+// call (and the chain resolved by a linear scan per stream).
+func freedomLoops(ws *workspace.Workspace, st *Stream, opts Options) []int {
 	if st.LoopIndex < 0 {
 		return nil
 	}
@@ -268,8 +241,8 @@ func freedomLoops(a *assign.Assignment, st *Stream, writers map[string][]int, op
 		// next drain of the same stream synchronizes anyway).
 		return []int{st.LoopIndex}
 	}
-	ch := chainByID(a, st.ChainID)
-	if writtenIn(writers, ch.Array.Name, st.BlockIndex) {
+	ch := ws.ChainByID[st.ChainID]
+	if ws.WrittenIn(ch.Array.Name, st.BlockIndex) {
 		return nil
 	}
 	limit := 0
@@ -288,23 +261,13 @@ func freedomLoops(a *assign.Assignment, st *Stream, writers map[string][]int, op
 // block, the parent must be the array home (a parent copy's own fill
 // lands in the same block), and the array must not be produced in the
 // previous or the same block.
-func fillCanHoist(a *assign.Assignment, st *Stream) bool {
+func fillCanHoist(ws *workspace.Workspace, st *Stream) bool {
 	if st.LoopIndex >= 0 || st.Write || st.ParentLevel >= 0 || st.BlockIndex == 0 {
 		return false
 	}
-	ch := chainByID(a, st.ChainID)
-	writers := writerBlocks(a.Analysis.Program)
-	return !writtenIn(writers, ch.Array.Name, st.BlockIndex) &&
-		!writtenIn(writers, ch.Array.Name, st.BlockIndex-1)
-}
-
-func chainByID(a *assign.Assignment, id string) *reuse.Chain {
-	for _, ch := range a.Analysis.Chains {
-		if ch.ID == id {
-			return ch
-		}
-	}
-	return nil
+	ch := ws.ChainByID[st.ChainID]
+	return !ws.WrittenIn(ch.Array.Name, st.BlockIndex) &&
+		!ws.WrittenIn(ch.Array.Name, st.BlockIndex-1)
 }
 
 // String renders the plan for reports: one line per BT stream in

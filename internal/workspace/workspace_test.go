@@ -1,0 +1,161 @@
+package workspace_test
+
+// Unit tests of the compile-once workspace: every table must agree
+// with the from-scratch computation it replaces, across the seeded
+// progen scenario family. (The end-to-end guarantee — byte-identical
+// flow results with and without workspace sharing — is enforced by
+// the sweep differential suite in internal/explore.)
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"mhla/internal/lifetime"
+	"mhla/internal/model"
+	"mhla/internal/progen"
+	"mhla/internal/reuse"
+	"mhla/internal/workspace"
+)
+
+func TestCompileRejectsInvalid(t *testing.T) {
+	if _, err := workspace.Compile(nil); err == nil {
+		t.Error("Compile(nil) succeeded")
+	}
+	p := model.NewProgram("broken")
+	arr := p.NewArray("a", 2, 8)
+	p.AddBlock("b", model.For("i", 16, model.Load(arr, model.Idx("i"))))
+	if _, err := workspace.Compile(p); err == nil {
+		t.Error("Compile of out-of-bounds program succeeded")
+	}
+}
+
+func TestWorkspaceTablesMatchDirectComputation(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		sc := progen.Generate(seed)
+		p := sc.Program
+		ws, err := workspace.Compile(p)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if ws.Program != p || ws.Analysis == nil || ws.Analysis.Program != p {
+			t.Fatalf("seed %d: workspace not bound to its program", seed)
+		}
+		if ws.NBlocks != len(p.Blocks) {
+			t.Fatalf("seed %d: NBlocks %d != %d", seed, ws.NBlocks, len(p.Blocks))
+		}
+
+		// Spans match the batch lifetime analysis.
+		if want := lifetime.ArraySpans(p); !reflect.DeepEqual(ws.Spans, want) {
+			t.Errorf("seed %d: spans differ:\n%v\nvs\n%v", seed, ws.Spans, want)
+		}
+
+		// Arrays are the program's arrays sorted by name, and the
+		// per-array objects mirror the spans.
+		if len(ws.Arrays) != len(p.Arrays) {
+			t.Fatalf("seed %d: %d arrays, want %d", seed, len(ws.Arrays), len(p.Arrays))
+		}
+		if !sort.SliceIsSorted(ws.Arrays, func(i, j int) bool { return ws.Arrays[i].Name < ws.Arrays[j].Name }) {
+			t.Errorf("seed %d: Arrays not sorted by name", seed)
+		}
+		for i, arr := range ws.Arrays {
+			if ws.ArrayIndex[arr.Name] != i {
+				t.Errorf("seed %d: ArrayIndex[%q] != %d", seed, arr.Name, i)
+			}
+			sp := ws.Spans[arr.Name]
+			if ws.ArrayUsed[i] != sp.Used {
+				t.Errorf("seed %d: ArrayUsed[%q] = %v, span says %v", seed, arr.Name, ws.ArrayUsed[i], sp.Used)
+			}
+			want := lifetime.Object{ID: arr.Name, Bytes: arr.Bytes(), Start: sp.Start, End: sp.End}
+			if ws.ArrayObjs[i] != want {
+				t.Errorf("seed %d: ArrayObjs[%q] = %+v, want %+v", seed, arr.Name, ws.ArrayObjs[i], want)
+			}
+		}
+
+		// Chain tables align with the analysis order, and every
+		// candidate object matches the one Assignment.Objects used to
+		// format on the fly.
+		an := ws.Analysis
+		if len(ws.Chains) != len(an.Chains) {
+			t.Fatalf("seed %d: %d chains, want %d", seed, len(ws.Chains), len(an.Chains))
+		}
+		for ci, ch := range an.Chains {
+			if ws.Chains[ci] != ch || ws.ChainByID[ch.ID] != ch || ws.ChainIndex[ch.ID] != ci {
+				t.Fatalf("seed %d: chain %q index out of sync", seed, ch.ID)
+			}
+			if got, want := ws.ChainArrayIdx[ci], ws.ArrayIndex[ch.Array.Name]; got != want {
+				t.Errorf("seed %d: ChainArrayIdx[%d] = %d, want %d", seed, ci, got, want)
+			}
+			if len(ws.CandObjs[ci]) != ch.Depth()+1 {
+				t.Fatalf("seed %d: chain %q has %d candidate objects, want %d",
+					seed, ch.ID, len(ws.CandObjs[ci]), ch.Depth()+1)
+			}
+			for lv := 0; lv <= ch.Depth(); lv++ {
+				want := lifetime.Object{
+					ID:    fmt.Sprintf("%s@%d", ch.ID, lv),
+					Bytes: ch.Candidate(lv).Bytes,
+					Start: ch.BlockIndex,
+					End:   ch.BlockIndex,
+				}
+				if got := ws.CandObjs[ci][lv]; got != want {
+					t.Errorf("seed %d: CandObjs[%d][%d] = %+v, want %+v", seed, ci, lv, got, want)
+				}
+			}
+		}
+
+		// Writer blocks match a direct scan of the access list.
+		wantWriters := make(map[string]map[int]bool)
+		for _, ref := range p.Accesses() {
+			if ref.Access.Kind != model.Write {
+				continue
+			}
+			name := ref.Access.Array.Name
+			if wantWriters[name] == nil {
+				wantWriters[name] = make(map[int]bool)
+			}
+			wantWriters[name][ref.BlockIndex] = true
+		}
+		if len(ws.WriterBlocks) != len(wantWriters) {
+			t.Errorf("seed %d: %d writer arrays, want %d", seed, len(ws.WriterBlocks), len(wantWriters))
+		}
+		for name, blocks := range wantWriters {
+			if !sort.IntsAreSorted(ws.WriterBlocks[name]) {
+				t.Errorf("seed %d: WriterBlocks[%q] not sorted", seed, name)
+			}
+			for bi := 0; bi < len(p.Blocks); bi++ {
+				if got, want := ws.WrittenIn(name, bi), blocks[bi]; got != want {
+					t.Errorf("seed %d: WrittenIn(%q,%d) = %v, want %v", seed, name, bi, got, want)
+				}
+			}
+		}
+
+		// Compute-cycle tables match the model walk.
+		var total int64
+		for bi, b := range p.Blocks {
+			if got, want := ws.BlockCompute[bi], b.ComputeCycles(); got != want {
+				t.Errorf("seed %d: BlockCompute[%d] = %d, want %d", seed, bi, got, want)
+			}
+			total += b.ComputeCycles()
+		}
+		if ws.TotalCompute != total || total != p.ComputeCycles() {
+			t.Errorf("seed %d: TotalCompute %d, want %d", seed, ws.TotalCompute, total)
+		}
+	}
+}
+
+// TestFromAnalysisSharesAnalysis: FromAnalysis must not re-analyze.
+func TestFromAnalysisSharesAnalysis(t *testing.T) {
+	sc := progen.Generate(1)
+	an, err := reuse.Analyze(sc.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := workspace.FromAnalysis(an)
+	if ws.Analysis != an {
+		t.Error("FromAnalysis built a different analysis")
+	}
+	if len(ws.Chains) != len(an.Chains) {
+		t.Errorf("chains %d != %d", len(ws.Chains), len(an.Chains))
+	}
+}

@@ -52,6 +52,14 @@ type Explorer struct {
 // the corresponding JobResult and do not stop the batch. When ctx is
 // cancelled Explore returns promptly with ctx.Err(); jobs not
 // finished by then carry the context error.
+//
+// Explore memoizes workspaces by program identity: the first job of
+// each distinct *Program compiles it (on its worker goroutine —
+// distinct programs compile concurrently) and every later job of the
+// same program reuses the result, so a Grid of one program across
+// many sizes and objectives analyzes the program a single time. Jobs
+// that already carry an explicit WithWorkspace option (Explorer-wide
+// or per job) use theirs and skip the memoization entirely.
 func (e *Explorer) Explore(ctx context.Context, jobs []Job) ([]JobResult, error) {
 	results := make([]JobResult, len(jobs))
 	for i, job := range jobs {
@@ -69,6 +77,7 @@ func (e *Explorer) Explore(ctx context.Context, jobs []Job) ([]JobResult, error)
 		workers = len(jobs)
 	}
 
+	cache := newWorkspaceCache()
 	next := make(chan int)
 	var wg sync.WaitGroup
 	var done atomic.Int64
@@ -78,9 +87,17 @@ func (e *Explorer) Explore(ctx context.Context, jobs []Job) ([]JobResult, error)
 			defer wg.Done()
 			for i := range next {
 				job := jobs[i]
-				opts := make([]Option, 0, len(e.Options)+len(job.Options))
+				opts := make([]Option, 0, len(e.Options)+len(job.Options)+1)
 				opts = append(opts, e.Options...)
 				opts = append(opts, job.Options...)
+				// Memoize only when the job does not carry its own
+				// workspace; a failed compile falls through to Run,
+				// which surfaces the usual per-job validation error.
+				if probe := newConfig(opts); probe.workspace == nil && probe.err == nil {
+					if ws := cache.get(job.Program); ws != nil {
+						opts = append([]Option{WithWorkspace(ws)}, opts...)
+					}
+				}
 				res, err := Run(ctx, job.Program, opts...)
 				results[i] = JobResult{Label: job.Label, Result: res, Err: err}
 				if e.Progress != nil {
@@ -110,6 +127,45 @@ feed:
 		}
 	}
 	return results, ctx.Err()
+}
+
+// workspaceCache memoizes compiled workspaces by program identity for
+// one batch. Each program compiles at most once — the first caller
+// compiles (concurrent callers of the same program wait on its once;
+// distinct programs compile in parallel on their worker goroutines) —
+// and a failed compile is cached as nil so later jobs fall through to
+// Run's own per-job validation error.
+type workspaceCache struct {
+	mu      sync.Mutex
+	entries map[*Program]*workspaceEntry
+}
+
+type workspaceEntry struct {
+	once sync.Once
+	ws   *Workspace
+}
+
+func newWorkspaceCache() *workspaceCache {
+	return &workspaceCache{entries: make(map[*Program]*workspaceEntry)}
+}
+
+func (c *workspaceCache) get(p *Program) *Workspace {
+	if p == nil {
+		return nil
+	}
+	c.mu.Lock()
+	e := c.entries[p]
+	if e == nil {
+		e = &workspaceEntry{}
+		c.entries[p] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		if ws, err := Compile(p); err == nil {
+			e.ws = ws
+		}
+	})
+	return e.ws
 }
 
 // GridApp names one program of a batch grid.

@@ -16,10 +16,14 @@
 //
 // Run honors ctx: cancellation or a deadline aborts even a long
 // branch-and-bound search promptly, and WithProgress streams search
-// snapshots while the flow runs. For batch work — many applications,
-// L1 sizes and objectives at once — Explorer fans a job list out over
-// a worker pool with deterministic result ordering; Grid expands an
-// app x size x objective cross product into such a job list. The
+// snapshots while the flow runs. When one program is evaluated
+// against many platforms, Compile builds its platform-independent
+// analysis once and WithWorkspace reuses it per call (SweepL1 and
+// the Explorer do this automatically). For batch work — many
+// applications, L1 sizes and objectives at once — Explorer fans a
+// job list out over a worker pool with deterministic result ordering;
+// Grid expands an app x size x objective cross product into such a
+// job list. The
 // rest of the package re-exports the stable model-building, platform,
 // analysis, scheduling, simulation and reporting APIs; DESIGN.md maps
 // them to the internal packages.
@@ -33,6 +37,7 @@ import (
 	"mhla/internal/core"
 	"mhla/internal/energy"
 	"mhla/internal/platform"
+	"mhla/internal/workspace"
 )
 
 // DefaultL1 is the on-chip scratchpad capacity (bytes) Run assumes
@@ -47,6 +52,12 @@ type config struct {
 	search    assign.Options
 	disableTE bool
 	progress  core.ProgressFunc
+	// workspace, when non-nil, is the precompiled program analysis
+	// Run/SweepL1 reuse instead of compiling their own.
+	workspace *Workspace
+	// sweepWorkers bounds SweepL1's concurrent sweep points (0 =
+	// GOMAXPROCS).
+	sweepWorkers int
 	// err records the first invalid facade input; entry points return
 	// it (a typed *OptionError) instead of running on a silently
 	// patched configuration.
@@ -174,6 +185,40 @@ func WithWorkers(n int) Option {
 	return func(c *config) { c.search.Workers = n }
 }
 
+// WithWorkspace reuses a precompiled workspace (see Compile) instead
+// of validating and analyzing the program per call. The workspace
+// must have been compiled for the same *Program value the entry point
+// receives; a mismatch is rejected with a typed *OptionError. Use it
+// when one program is evaluated against many platforms — an L1 sweep,
+// a batch grid, a serving loop — so the program-side analysis runs
+// once instead of per point. A nil workspace is rejected with a typed
+// *OptionError.
+func WithWorkspace(ws *Workspace) Option {
+	return func(c *config) {
+		if ws == nil {
+			c.fail("Workspace", "nil workspace")
+			return
+		}
+		c.workspace = ws
+	}
+}
+
+// WithSweepWorkers bounds the sweep points SweepL1 evaluates
+// concurrently. 0 (the default) means GOMAXPROCS, 1 forces a
+// sequential sweep; the sweep result is identical at every worker
+// count. Other entry points ignore the setting (WithWorkers bounds
+// the search engines instead). Negative values are rejected with a
+// typed *OptionError.
+func WithSweepWorkers(n int) Option {
+	return func(c *config) {
+		if n < 0 {
+			c.fail("SweepWorkers", fmt.Sprintf("negative worker count %d", n))
+			return
+		}
+		c.sweepWorkers = n
+	}
+}
+
 // WithProgress streams flow progress: one callback as each phase
 // starts, plus the search engine's periodic snapshots. The callback
 // must be fast. Phase entries and greedy snapshots arrive on the
@@ -185,14 +230,40 @@ func WithProgress(fn ProgressFunc) Option {
 	return func(c *config) { c.progress = fn }
 }
 
+// Compile builds the compile-once workspace of a program: validation,
+// the data-reuse analysis and the program-side lifetime/dependence
+// tables every flow step reads. The workspace is immutable and safe
+// to share across goroutines; pass it back via WithWorkspace so
+// repeated Run/SweepL1 calls on the same program skip the per-call
+// analysis. The batch Explorer compiles one per distinct program
+// automatically.
+func Compile(p *Program) (*Workspace, error) { return workspace.Compile(p) }
+
+// checkWorkspace verifies a configured workspace matches the program
+// the entry point received (a nil program is allowed — the workspace
+// carries its own).
+func (c *config) checkWorkspace(p *Program) error {
+	if c.workspace != nil && p != nil && p != c.workspace.Program {
+		return &assign.OptionError{Field: "Workspace", Reason: "workspace was compiled for a different program"}
+	}
+	return nil
+}
+
 // Run executes the full two-step MHLA+TE flow on a program and
 // evaluates the four operating points of the paper's figures. It
 // returns ctx.Err() promptly when ctx is cancelled, even inside a
-// long assignment search.
+// long assignment search. With WithWorkspace the program-side
+// analysis is reused instead of recompiled.
 func Run(ctx context.Context, p *Program, opts ...Option) (*Result, error) {
 	cfg := newConfig(opts)
 	if cfg.err != nil {
 		return nil, cfg.err
+	}
+	if err := cfg.checkWorkspace(p); err != nil {
+		return nil, err
+	}
+	if cfg.workspace != nil {
+		return core.RunWorkspace(ctx, cfg.workspace, cfg.coreConfig())
 	}
 	return core.RunContext(ctx, p, cfg.coreConfig())
 }

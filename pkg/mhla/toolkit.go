@@ -2,6 +2,7 @@ package mhla
 
 import (
 	"context"
+	"fmt"
 
 	"mhla/internal/dmasim"
 	"mhla/internal/explore"
@@ -54,14 +55,30 @@ func Layout(a *Assignment) ([]*LayerMap, error) { return layout.Map(a) }
 // or empty sizes slice means the standard 256 B .. 64 KiB sweep.
 // Engine, objective, policy, TE and progress options all apply;
 // platform options are ignored (the sweep constructs one platform
-// per size). SweepL1 returns ctx.Err() promptly when ctx is
-// cancelled.
+// per size). The program is compiled once (or reused via
+// WithWorkspace) and the points are evaluated concurrently —
+// WithSweepWorkers bounds the pool — with results identical to a
+// sequential sweep at every worker count. SweepL1 returns ctx.Err()
+// promptly when ctx is cancelled.
 func SweepL1(ctx context.Context, p *Program, sizes []int64, opts ...Option) (*Sweep, error) {
 	cfg := newConfig(opts)
 	if cfg.err != nil {
 		return nil, cfg.err
 	}
-	return explore.RunFlow(ctx, p, sizes, cfg.coreConfig())
+	if err := cfg.checkWorkspace(p); err != nil {
+		return nil, err
+	}
+	ws := cfg.workspace
+	if ws == nil {
+		var err error
+		if ws, err = Compile(p); err != nil {
+			return nil, fmt.Errorf("explore: %w", err)
+		}
+	}
+	return explore.SweepWorkspace(ctx, ws, sizes, explore.Options{
+		Config:  cfg.coreConfig(),
+		Workers: cfg.sweepWorkers,
+	})
 }
 
 // DefaultSweepSizes is the standard L1 sweep: 256 B to 64 KiB in

@@ -12,6 +12,7 @@ import (
 	"mhla/internal/report"
 	"mhla/internal/reuse"
 	"mhla/internal/te"
+	"mhla/internal/workspace"
 )
 
 // The stable types of the flow, re-exported as aliases so values
@@ -40,6 +41,12 @@ type (
 	// Analysis is the data-reuse analysis: the copy-candidate chains
 	// of a program.
 	Analysis = reuse.Analysis
+	// Workspace is the compile-once, platform-independent analysis of
+	// one program (validation, reuse analysis, lifetime tables).
+	// Compile one with Compile and reuse it across Run/SweepL1 calls
+	// via WithWorkspace; the batch Explorer compiles one per distinct
+	// program automatically.
+	Workspace = workspace.Workspace
 	// Chain is one reuse chain (an array's copy-candidate hierarchy
 	// for one access group).
 	Chain = reuse.Chain
