@@ -18,14 +18,20 @@ package mhla_test
 //
 //	go test -bench=. -benchmem
 import (
+	"bytes"
 	"context"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 
 	"mhla/internal/apps"
 	"mhla/internal/progen"
+	"mhla/internal/server"
 	"mhla/pkg/mhla"
 )
 
@@ -407,6 +413,167 @@ func BenchmarkWorkspaceSweep(b *testing.B) {
 			b.ReportMetric(float64(len(sizes)), "sweep_points")
 		})
 	}
+}
+
+// benchPost posts a JSON body and returns status and response bytes.
+// Transport failures report with Errorf (safe off the benchmark
+// goroutine, where FailNow is not) and surface as status 0.
+func benchPost(b *testing.B, client *http.Client, url, body string) (int, []byte) {
+	b.Helper()
+	resp, err := client.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		b.Errorf("POST %s: %v", url, err)
+		return 0, nil
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		b.Errorf("POST %s: read body: %v", url, err)
+		return 0, nil
+	}
+	return resp.StatusCode, data
+}
+
+// BenchmarkServerThroughput measures the HTTP serving layer end to end
+// on the flagship application:
+//
+//	run/cold          — every request is a distinct program: full
+//	                    decode + workspace compile + flow per request
+//	run/warm          — every request hits the compiled-workspace
+//	                    cache: the program-side analysis is paid once
+//	run/warm/parallel — warm requests from concurrent clients through
+//	                    the in-flight semaphore
+//	sweep/warm        — the 9-point concurrent L1 sweep per request
+//
+// Warm responses are verified byte-identical to the direct facade
+// call on every iteration — the serving layer's differential
+// guarantee, measured rather than assumed. Measured numbers are
+// recorded in BENCH_SERVER.json; the cold/warm gap is the cache win.
+// On a single-CPU host the parallel variant cannot beat sequential
+// warm requests (the flow is compute-bound); re-measure on cores for
+// the concurrency win.
+func BenchmarkServerThroughput(b *testing.B) {
+	app, err := apps.ByName("me")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog := app.Build(apps.Paper)
+	progJSON, err := mhla.EncodeProgram(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := mhla.Run(context.Background(), prog, mhla.WithL1(app.L1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	want, err := mhla.ResultJSON(res)
+	if err != nil {
+		b.Fatal(err)
+	}
+	warmBody := fmt.Sprintf(`{"app":"me","l1_bytes":%d}`, app.L1)
+
+	newServer := func() (*server.Server, *httptest.Server) {
+		srv := server.New(server.Config{CacheEntries: 64})
+		return srv, httptest.NewServer(srv.Handler())
+	}
+
+	b.Run("run/cold", func(b *testing.B) {
+		srv, ts := newServer()
+		defer ts.Close()
+		for i := 0; i < b.N; i++ {
+			// A unique program name per request: a distinct digest, so
+			// every request compiles its workspace from scratch.
+			body := fmt.Sprintf(`{"program":%s,"l1_bytes":%d}`,
+				strings.Replace(string(progJSON), `"name": "me"`, fmt.Sprintf(`"name": "me-%d"`, i), 1),
+				app.L1)
+			code, data := benchPost(b, http.DefaultClient, ts.URL+"/v1/run", body)
+			if code != http.StatusOK {
+				b.Fatalf("status %d: %s", code, data)
+			}
+		}
+		b.StopTimer()
+		if got := srv.Stats().Cache.Compiles; got != int64(b.N) {
+			b.Fatalf("cold run compiled %d workspaces, want %d", got, b.N)
+		}
+	})
+
+	b.Run("run/warm", func(b *testing.B) {
+		srv, ts := newServer()
+		defer ts.Close()
+		// Prime the cache outside the timer.
+		if code, data := benchPost(b, http.DefaultClient, ts.URL+"/v1/run", warmBody); code != http.StatusOK {
+			b.Fatalf("prime status %d: %s", code, data)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			code, data := benchPost(b, http.DefaultClient, ts.URL+"/v1/run", warmBody)
+			if code != http.StatusOK {
+				b.Fatalf("status %d: %s", code, data)
+			}
+			if !bytes.Equal(data, want) {
+				b.Fatalf("warm response diverged from direct facade call")
+			}
+		}
+		b.StopTimer()
+		if got := srv.Stats().Cache.Compiles; got != 1 {
+			b.Fatalf("warm run compiled %d workspaces, want 1", got)
+		}
+	})
+
+	b.Run("run/warm/parallel", func(b *testing.B) {
+		_, ts := newServer()
+		defer ts.Close()
+		// A dedicated pooled client: the default transport keeps only 2
+		// idle connections per host, so 8-way parallelism through it
+		// would measure TCP dial/teardown churn instead of the server.
+		client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 16}}
+		defer client.CloseIdleConnections()
+		if code, data := benchPost(b, client, ts.URL+"/v1/run", warmBody); code != http.StatusOK {
+			b.Fatalf("prime status %d: %s", code, data)
+		}
+		b.SetParallelism(8)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				code, data := benchPost(b, client, ts.URL+"/v1/run", warmBody)
+				if code != http.StatusOK {
+					b.Errorf("status %d: %s", code, data)
+					return
+				}
+				if !bytes.Equal(data, want) {
+					b.Errorf("warm response diverged from direct facade call")
+					return
+				}
+			}
+		})
+	})
+
+	b.Run("sweep/warm", func(b *testing.B) {
+		sw, err := mhla.SweepL1(context.Background(), prog, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wantSweep, err := sw.JSON()
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, ts := newServer()
+		defer ts.Close()
+		sweepBody := `{"app":"me"}`
+		if code, data := benchPost(b, http.DefaultClient, ts.URL+"/v1/sweep", sweepBody); code != http.StatusOK {
+			b.Fatalf("prime status %d: %s", code, data)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			code, data := benchPost(b, http.DefaultClient, ts.URL+"/v1/sweep", sweepBody)
+			if code != http.StatusOK {
+				b.Fatalf("status %d: %s", code, data)
+			}
+			if !bytes.Equal(data, wantSweep) {
+				b.Fatalf("sweep response diverged from direct facade call")
+			}
+		}
+	})
 }
 
 // BenchmarkReuseAnalysis measures the copy-candidate derivation on

@@ -1,0 +1,113 @@
+// Command mhla-serve runs the MHLA flow as a long-lived HTTP JSON
+// service over the compiled-workspace cache: POST /v1/run evaluates
+// the four operating points of a program+platform, POST /v1/sweep
+// runs the concurrent L1 trade-off sweep, POST /v1/batch fans an
+// Explorer grid over catalog applications, GET /v1/apps lists the
+// catalog and GET /healthz reports liveness plus cache statistics.
+// Compute responses are byte-identical to direct pkg/mhla facade
+// calls — the service is a transport, not a second implementation.
+//
+// Usage:
+//
+//	mhla-serve -addr :8080
+//	mhla-serve -addr 127.0.0.1:8080 -cache 128 -inflight 16 -timeout 30s
+//
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/run -d '{"app":"me","l1_bytes":2048}'
+//	curl -s -X POST localhost:8080/v1/sweep -d '{"app":"qsdpcm","sweep_workers":4}'
+//
+// SIGINT/SIGTERM drain in-flight requests and shut down gracefully.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mhla/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address")
+		cache    = flag.Int("cache", 64, "compiled-workspace cache entries")
+		inflight = flag.Int("inflight", 0, "max in-flight compute requests (0 = 4x GOMAXPROCS)")
+		timeout  = flag.Duration("timeout", 0, "per-request compute timeout (0 = none)")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown drain budget")
+		states   = flag.Int("maxstates", 0, "cap on a request's exact-search state budget (0 = 10M)")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		CacheEntries:   *cache,
+		MaxInFlight:    *inflight,
+		RequestTimeout: *timeout,
+		MaxStates:      *states,
+	})
+	// Every request context derives from baseCtx, so cancelling it
+	// aborts in-flight engine runs (the flows poll their contexts) —
+	// the lever that keeps shutdown bounded even with -timeout 0.
+	baseCtx, baseCancel := context.WithCancel(context.Background())
+	defer baseCancel()
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: srv.Handler(),
+		// Bound the header read only. A whole-request ReadTimeout would
+		// fire mid-handler on long computes and cancel the request
+		// context (net/http's background read treats the expiry as a
+		// connection error), silently capping every search despite
+		// -timeout 0. Slow-body clients are already contained without
+		// it: the intake semaphore bounds concurrent decodes and the
+		// compute slot is taken only after the body is fully read.
+		ReadHeaderTimeout: 10 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return baseCtx },
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("mhla-serve: listening on %s", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("mhla-serve: %v, draining (budget %v)", sig, *drain)
+		// Drain gracefully for the budget; if compute requests outlive
+		// it, cancel the base context so the engines abort (within
+		// milliseconds — they poll their contexts) and shutdown still
+		// completes cleanly instead of failing the process.
+		abort := time.AfterFunc(*drain, func() {
+			log.Printf("mhla-serve: drain budget exceeded, aborting in-flight requests")
+			baseCancel()
+		})
+		ctx, cancel := context.WithTimeout(context.Background(), *drain+10*time.Second)
+		defer cancel()
+		err := httpSrv.Shutdown(ctx)
+		abort.Stop()
+		if err != nil {
+			fatal(fmt.Errorf("shutdown: %w", err))
+		}
+		stats := srv.Stats()
+		log.Printf("mhla-serve: drained; served %d requests, cache %d/%d hits/misses",
+			stats.Requests, stats.Cache.Hits, stats.Cache.Misses)
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mhla-serve:", err)
+	os.Exit(1)
+}

@@ -64,6 +64,12 @@ const (
 	Exhaustive
 )
 
+// UsesWorkers reports whether the engine honors Options.Workers: the
+// parallel exact engines do; the greedy heuristic is inherently
+// sequential and ignores it. Transport layers use this to decide
+// which nesting level of a sweep or batch owns the parallelism.
+func (e Engine) UsesWorkers() bool { return e == BranchBound || e == Exhaustive }
+
 // String names the engine.
 func (e Engine) String() string {
 	switch e {

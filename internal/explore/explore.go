@@ -175,8 +175,16 @@ func SweepWorkspace(ctx context.Context, ws *workspace.Workspace, sizes []int64,
 		go func() {
 			defer wg.Done()
 			for {
+				// Check the stop conditions before claiming an index: a
+				// claimed point always runs, so every recorded error is
+				// the point's own and the lowest recorded index is the
+				// same failure a sequential sweep reports (claims ascend,
+				// so all lower indices were claimed and evaluated too).
+				if failed.Load() || ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
-				if i >= len(sizes) || failed.Load() || ctx.Err() != nil {
+				if i >= len(sizes) {
 					return
 				}
 				pcfg := cfg
@@ -259,7 +267,14 @@ type sweepJSON struct {
 }
 
 type pointJSON struct {
-	L1Bytes      int64   `json:"l1_bytes"`
+	L1Bytes int64 `json:"l1_bytes"`
+	ResultFields
+}
+
+// ResultFields is the shared snake_case encoding of one flow result —
+// the common core of a Sweep.JSON point and the facade's ResultJSON,
+// defined once so the two wire schemas cannot drift apart.
+type ResultFields struct {
 	OrigCycles   int64   `json:"orig_cycles"`
 	MHLACycles   int64   `json:"mhla_cycles"`
 	TECycles     int64   `json:"te_cycles"`
@@ -270,24 +285,27 @@ type pointJSON struct {
 	TEApplicable bool    `json:"te_applicable"`
 }
 
+// ResultFieldsOf extracts the shared wire fields of a flow result.
+func ResultFieldsOf(r *core.Result) ResultFields {
+	return ResultFields{
+		OrigCycles:   r.Original.Cycles,
+		MHLACycles:   r.MHLA.Cycles,
+		TECycles:     r.TE.Cycles,
+		IdealCycles:  r.Ideal.Cycles,
+		OrigPJ:       r.Original.Energy,
+		MHLAPJ:       r.MHLA.Energy,
+		SearchStates: r.SearchStates,
+		TEApplicable: r.Plan != nil && r.Plan.Applicable,
+	}
+}
+
 // JSON renders the sweep as indented JSON following the modelio
 // naming conventions, one object per sweep point, for external
 // tooling (plotting, regression tracking).
 func (s *Sweep) JSON() ([]byte, error) {
 	out := sweepJSON{App: s.Program, Points: make([]pointJSON, 0, len(s.Points))}
 	for _, p := range s.Points {
-		r := p.Result
-		out.Points = append(out.Points, pointJSON{
-			L1Bytes:      p.L1,
-			OrigCycles:   r.Original.Cycles,
-			MHLACycles:   r.MHLA.Cycles,
-			TECycles:     r.TE.Cycles,
-			IdealCycles:  r.Ideal.Cycles,
-			OrigPJ:       r.Original.Energy,
-			MHLAPJ:       r.MHLA.Energy,
-			SearchStates: r.SearchStates,
-			TEApplicable: r.Plan != nil && r.Plan.Applicable,
-		})
+		out.Points = append(out.Points, pointJSON{L1Bytes: p.L1, ResultFields: ResultFieldsOf(p.Result)})
 	}
 	return json.MarshalIndent(out, "", "  ")
 }

@@ -1,0 +1,41 @@
+package modelio
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"mhla/internal/model"
+)
+
+// Canonical renders the canonical byte encoding of a program: the
+// interchange JSON of EncodeProgram, which is deterministic (arrays,
+// blocks and loop bodies keep their model order; map iteration never
+// leaks in). Two programs have the same canonical encoding exactly
+// when they describe the same model — name, arrays (order, element
+// sizes, dimensions, input/output flags) and block structure — no
+// matter how their original JSON was formatted or key-ordered. The
+// serving layer keys its compiled-workspace cache on this encoding:
+// a request program is decoded (validated) and re-encoded, so
+// whitespace, field order and other surface variation of the wire
+// form never splits the cache.
+func Canonical(p *model.Program) ([]byte, error) {
+	data, err := EncodeProgram(p)
+	if err != nil {
+		return nil, fmt.Errorf("modelio: canonicalize: %w", err)
+	}
+	return data, nil
+}
+
+// ProgramDigest returns the hex SHA-256 digest of a program's
+// canonical encoding — the cache key of the serving layer's
+// compiled-workspace cache. Same model, same digest, independent of
+// the wire formatting the program arrived in.
+func ProgramDigest(p *model.Program) (string, error) {
+	data, err := Canonical(p)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}

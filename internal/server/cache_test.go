@@ -1,0 +1,383 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"mhla/internal/progen"
+	"mhla/pkg/mhla"
+)
+
+// compileCounter records OnCompile calls per digest.
+type compileCounter struct {
+	mu     sync.Mutex
+	counts map[string]int
+}
+
+func newCompileCounter() *compileCounter {
+	return &compileCounter{counts: make(map[string]int)}
+}
+
+func (c *compileCounter) hook(digest string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.counts[digest]++
+}
+
+func (c *compileCounter) snapshot() map[string]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int, len(c.counts))
+	for k, v := range c.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// cacheCase is one distinct program with its precomputed request body,
+// expected response and digest.
+type cacheCase struct {
+	digest string
+	body   string
+	want   []byte
+}
+
+// buildCacheCases builds K distinct progen programs with expected
+// /v1/run responses (greedy, default platform knobs via the scenario
+// platform).
+func buildCacheCases(t testing.TB, k int) []*cacheCase {
+	t.Helper()
+	cases := make([]*cacheCase, 0, k)
+	for i := 0; i < k; i++ {
+		sc := progen.Generate(100 + int64(i))
+		progJSON, err := mhla.EncodeProgram(sc.Program)
+		if err != nil {
+			t.Fatal(err)
+		}
+		platJSON, err := mhla.EncodePlatform(sc.Platform)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := mhla.Run(context.Background(), sc.Program, mhla.WithPlatform(sc.Platform))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := mhla.ResultJSON(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		digest, err := mhla.ProgramDigest(sc.Program)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases = append(cases, &cacheCase{
+			digest: digest,
+			body:   fmt.Sprintf(`{"program":%s,"platform":%s}`, progJSON, platJSON),
+			want:   want,
+		})
+	}
+	// Distinct seeds must give distinct digests for the stats
+	// arithmetic below to hold.
+	seen := make(map[string]bool, len(cases))
+	for _, c := range cases {
+		if seen[c.digest] {
+			t.Fatalf("duplicate digest across cache cases: %s", c.digest)
+		}
+		seen[c.digest] = true
+	}
+	return cases
+}
+
+// TestCacheCompiledExactlyOnce: M goroutines x K distinct programs x R
+// rounds hammer the server concurrently; each program compiles exactly
+// once, every response is byte-exact, and the hit/miss stats add up
+// exactly.
+func TestCacheCompiledExactlyOnce(t *testing.T) {
+	const (
+		m = 8 // goroutines
+		k = 6 // distinct programs
+		r = 4 // rounds per goroutine
+	)
+	counter := newCompileCounter()
+	srv, ts := newTestServer(t, Config{CacheEntries: 2 * k, OnCompile: counter.hook})
+	cases := buildCacheCases(t, k)
+
+	var wg sync.WaitGroup
+	for g := 0; g < m; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < r; round++ {
+				for i := range cases {
+					// Each goroutine walks the programs at a different
+					// offset so first-requests collide across programs.
+					c := cases[(i+g)%len(cases)]
+					code, body := postTB(t, ts.URL+"/v1/run", c.body)
+					if code != http.StatusOK {
+						t.Errorf("status %d: %s", code, body)
+						return
+					}
+					if !bytes.Equal(body, c.want) {
+						t.Errorf("response diverged for digest %s", c.digest)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	counts := counter.snapshot()
+	if len(counts) != k {
+		t.Errorf("compiled %d distinct programs, want %d", len(counts), k)
+	}
+	for digest, n := range counts {
+		if n != 1 {
+			t.Errorf("digest %s compiled %d times, want exactly 1", digest, n)
+		}
+	}
+	stats := srv.Stats()
+	total := int64(m * k * r)
+	if stats.Cache.Misses != k {
+		t.Errorf("misses = %d, want %d", stats.Cache.Misses, k)
+	}
+	if stats.Cache.Hits != total-k {
+		t.Errorf("hits = %d, want %d", stats.Cache.Hits, total-k)
+	}
+	if stats.Cache.Compiles != k {
+		t.Errorf("compiles = %d, want %d", stats.Cache.Compiles, k)
+	}
+	if stats.Cache.Evictions != 0 {
+		t.Errorf("evictions = %d, want 0", stats.Cache.Evictions)
+	}
+	if stats.Cache.Entries != k {
+		t.Errorf("entries = %d, want %d", stats.Cache.Entries, k)
+	}
+	if stats.InFlight != 0 {
+		t.Errorf("in-flight gauge did not drain: %d", stats.InFlight)
+	}
+}
+
+// TestCacheLRUEvictionSafety: a deliberately tiny cache thrashes under
+// M concurrent goroutines x K programs; evictions never corrupt
+// in-flight requests (every response stays byte-exact) and the
+// counters stay consistent.
+func TestCacheLRUEvictionSafety(t *testing.T) {
+	const (
+		m        = 8
+		k        = 5
+		r        = 3
+		capacity = 2
+	)
+	counter := newCompileCounter()
+	srv, ts := newTestServer(t, Config{CacheEntries: capacity, OnCompile: counter.hook})
+	cases := buildCacheCases(t, k)
+
+	var wg sync.WaitGroup
+	for g := 0; g < m; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < r; round++ {
+				for i := range cases {
+					c := cases[(i+g)%len(cases)]
+					code, body := postTB(t, ts.URL+"/v1/run", c.body)
+					if code != http.StatusOK {
+						t.Errorf("status %d: %s", code, body)
+						return
+					}
+					if !bytes.Equal(body, c.want) {
+						t.Errorf("response diverged for digest %s under eviction pressure", c.digest)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	stats := srv.Stats()
+	if stats.Cache.Entries > capacity {
+		t.Errorf("entries = %d exceed capacity %d", stats.Cache.Entries, capacity)
+	}
+	if stats.Cache.Evictions == 0 {
+		t.Error("expected evictions under a capacity-2 cache with 5 programs")
+	}
+	total := int64(m * k * r)
+	if stats.Cache.Hits+stats.Cache.Misses != total {
+		t.Errorf("hits %d + misses %d != requests %d",
+			stats.Cache.Hits, stats.Cache.Misses, total)
+	}
+	if stats.Cache.Compiles != stats.Cache.Misses {
+		t.Errorf("compiles %d != misses %d (every miss compiles exactly once)",
+			stats.Cache.Compiles, stats.Cache.Misses)
+	}
+	counts := counter.snapshot()
+	if len(counts) != k {
+		t.Errorf("compiled %d distinct programs, want %d", len(counts), k)
+	}
+	var hookTotal int64
+	for _, n := range counts {
+		hookTotal += int64(n)
+	}
+	if hookTotal != stats.Cache.Compiles {
+		t.Errorf("OnCompile saw %d compiles, stats say %d", hookTotal, stats.Cache.Compiles)
+	}
+}
+
+// TestCacheCompileFailureNotCached: failed compiles are dropped from
+// the LRU instead of negative-cached, so invalid programs recompile
+// per request and never flush compiled workspaces out of the cache.
+func TestCacheCompileFailureNotCached(t *testing.T) {
+	// Capacity 1: the strictest case — any failed compile that touched
+	// LRU accounting would have to evict the single good resident.
+	c := newWSCache(1, nil)
+	boom := errors.New("analysis rejected")
+	failCalls := 0
+	fail := func() (*mhla.Workspace, error) { failCalls++; return nil, boom }
+
+	if _, err := c.get("bad", fail); err != boom {
+		t.Fatalf("first failing get: err = %v, want boom", err)
+	}
+	if st := c.stats(); st.Entries != 0 || st.Misses != 1 || st.Compiles != 1 {
+		t.Fatalf("failed compile left cache state %+v, want 0 entries / 1 miss / 1 compile", st)
+	}
+	if _, err := c.get("bad", fail); err != boom {
+		t.Fatalf("second failing get: err = %v, want boom", err)
+	}
+	if failCalls != 2 {
+		t.Fatalf("failing program compiled %d times across 2 requests, want 2 (no negative cache)", failCalls)
+	}
+
+	// A resident valid workspace survives any number of failing
+	// requests: failures never consume capacity.
+	sc := progen.Generate(100)
+	ok := func() (*mhla.Workspace, error) { return mhla.Compile(sc.Program) }
+	ws, err := c.get("good", ok)
+	if err != nil || ws == nil {
+		t.Fatalf("valid compile failed: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := c.get(fmt.Sprintf("bad-%d", i), fail); err != boom {
+			t.Fatalf("failing get %d: err = %v", i, err)
+		}
+	}
+	ws2, err := c.get("good", ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws2 != ws {
+		t.Fatal("valid workspace was recompiled — failing entries consumed cache capacity")
+	}
+	if st := c.stats(); st.Entries != 1 || st.Evictions != 0 {
+		t.Fatalf("cache state %+v, want exactly the one valid entry and no evictions", st)
+	}
+}
+
+// TestCacheInFlightCompilesDontDisplaceSettled: entries still
+// compiling neither count toward the LRU capacity nor get evicted, so
+// a burst of in-flight (here: eventually failing) compiles cannot
+// flush the settled hot workspaces.
+func TestCacheInFlightCompilesDontDisplaceSettled(t *testing.T) {
+	c := newWSCache(2, nil)
+	ok := func(seed int64) func() (*mhla.Workspace, error) {
+		return func() (*mhla.Workspace, error) { return mhla.Compile(progen.Generate(seed).Program) }
+	}
+	wsA, err := c.get("A", ok(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.get("B", ok(101)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Five failing compiles blocked mid-flight inflate the list well
+	// past capacity.
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 5; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.get(fmt.Sprintf("bad-%d", i), func() (*mhla.Workspace, error) {
+				<-gate
+				return nil, errors.New("rejected")
+			})
+		}()
+	}
+	for c.stats().Misses < 7 { // A, B + the 5 in-flight entries
+		time.Sleep(time.Millisecond)
+	}
+
+	// Touch A (most recent), then settle a third valid program while
+	// the failures are still in flight: exactly one settled entry (the
+	// LRU one, B) may be evicted — the in-flight entries must not
+	// drive further flushing.
+	if ws, err := c.get("A", ok(100)); err != nil || ws != wsA {
+		t.Fatalf("warm hit on A failed (ws=%p want %p, err=%v)", ws, wsA, err)
+	}
+	if _, err := c.get("C", ok(102)); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.stats(); st.Evictions != 1 {
+		t.Fatalf("settling C evicted %d entries, want exactly 1 (the LRU settled entry): %+v", st.Evictions, st)
+	}
+	if ws, err := c.get("A", ok(100)); err != nil || ws != wsA {
+		t.Fatal("hot workspace A was flushed by in-flight compiles")
+	}
+
+	close(gate)
+	wg.Wait()
+	if st := c.stats(); st.Entries != 2 || st.Evictions != 1 {
+		t.Fatalf("after failures drained: %+v, want 2 entries and still 1 eviction", st)
+	}
+}
+
+// TestCacheLRUOrderDeterministic replays a fixed sequential request
+// pattern against a capacity-2 cache and asserts the exact LRU
+// hit/miss/eviction trace.
+func TestCacheLRUOrderDeterministic(t *testing.T) {
+	counter := newCompileCounter()
+	srv, ts := newTestServer(t, Config{CacheEntries: 2, OnCompile: counter.hook})
+	cases := buildCacheCases(t, 3)
+	a, b, c := cases[0], cases[1], cases[2]
+
+	// A(miss) B(miss) A(hit) C(miss, evicts B) B(miss, evicts A)
+	// A(miss, evicts C)
+	for _, req := range []*cacheCase{a, b, a, c, b, a} {
+		code, body := postTB(t, ts.URL+"/v1/run", req.body)
+		if code != http.StatusOK {
+			t.Fatalf("status %d: %s", code, body)
+		}
+		if !bytes.Equal(body, req.want) {
+			t.Fatalf("response diverged for digest %s", req.digest)
+		}
+	}
+
+	stats := srv.Stats()
+	if stats.Cache.Misses != 5 || stats.Cache.Hits != 1 ||
+		stats.Cache.Evictions != 3 || stats.Cache.Entries != 2 || stats.Cache.Compiles != 5 {
+		t.Fatalf("LRU trace mismatch: %+v (want 5 misses, 1 hit, 3 evictions, 2 entries, 5 compiles)",
+			stats.Cache)
+	}
+	counts := counter.snapshot()
+	if counts[a.digest] != 2 || counts[b.digest] != 2 || counts[c.digest] != 1 {
+		t.Fatalf("per-digest compiles = a:%d b:%d c:%d, want a:2 b:2 c:1",
+			counts[a.digest], counts[b.digest], counts[c.digest])
+	}
+}

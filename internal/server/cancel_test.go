@@ -1,0 +1,98 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mhla/pkg/mhla"
+)
+
+// TestClientDisconnectAbortsSearch: cancelling the request mid-search
+// aborts the engine promptly — observed through the server's progress
+// snapshots: the state count stops growing — and frees the in-flight
+// slot.
+func TestClientDisconnectAbortsSearch(t *testing.T) {
+	var maxStates atomic.Int64
+	srv, ts := newTestServer(t, Config{
+		MaxStates: 2_000_000_000,
+		Progress: func(p mhla.Progress) {
+			if p.Phase == mhla.PhaseAssign && int64(p.Search.States) > maxStates.Load() {
+				maxStates.Store(int64(p.Search.States))
+			}
+		},
+	})
+
+	body := bigScenarioBody(t) // exhaustive, ~2.6G leaves: runs for seconds
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/run", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+			done <- nil
+			return
+		}
+		done <- err
+	}()
+
+	// Wait for the engine to actually be searching (first progress
+	// snapshots), then pull the plug.
+	deadline := time.After(30 * time.Second)
+	for maxStates.Load() == 0 {
+		select {
+		case err := <-done:
+			t.Fatalf("request finished before cancellation (err=%v) — scenario too small", err)
+		case <-deadline:
+			t.Fatal("engine never reported progress")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	cancel()
+
+	// The client sees the cancellation...
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("request completed despite cancellation")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("request did not return after cancellation — engine not aborted")
+	}
+
+	// ...the in-flight slot frees promptly...
+	slotFreed := time.After(5 * time.Second)
+	for srv.Stats().InFlight != 0 {
+		select {
+		case <-slotFreed:
+			t.Fatalf("in-flight slot not freed after cancellation: %d", srv.Stats().InFlight)
+		case <-time.After(time.Millisecond):
+		}
+	}
+
+	// ...and the search stops: the state count freezes. (A full
+	// exhaustive search of this scenario would keep states growing for
+	// seconds; two identical samples 150 ms apart mean the DFS is
+	// dead.)
+	settled := maxStates.Load()
+	time.Sleep(150 * time.Millisecond)
+	if now := maxStates.Load(); now != settled {
+		t.Fatalf("state count still growing after cancellation: %d -> %d", settled, now)
+	}
+
+	// The server stays healthy for the next request.
+	code, _ := postTB(t, ts.URL+"/v1/run", `{"app":"durbin","scale":"test","l1_bytes":512}`)
+	if code != http.StatusOK {
+		t.Fatalf("server unhealthy after cancelled request: status %d", code)
+	}
+}

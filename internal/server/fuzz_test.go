@@ -1,0 +1,75 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// FuzzServerDecode throws arbitrary bodies at the three JSON compute
+// endpoints: malformed JSON, truncated programs, hostile dimensions
+// and knobs. The contract is that bad input is always answered with a
+// typed 4xx error body — never a panic, never a 5xx — and input that
+// happens to be valid is answered with valid JSON. The fuzz server
+// runs with tight guardrails (small bodies, tiny state budgets, a
+// small cache) so even a lucky valid mutation stays cheap.
+func FuzzServerDecode(f *testing.F) {
+	endpoints := []string{"/v1/run", "/v1/sweep", "/v1/batch"}
+
+	// Valid requests (mutation starting points)...
+	f.Add(byte(0), []byte(`{"app":"durbin","scale":"test","l1_bytes":512}`))
+	f.Add(byte(0), []byte(`{"app":"me","engine":"bnb","objective":"time","policy":"refetch","workers":2,"max_states":1000}`))
+	f.Add(byte(1), []byte(`{"app":"durbin","scale":"test","sizes":[256,512],"sweep_workers":2}`))
+	f.Add(byte(2), []byte(`{"apps":["durbin","sobel"],"scale":"test","l1_sizes":[512],"objectives":["energy"]}`))
+	f.Add(byte(0), []byte(`{"program":{"name":"p","arrays":[{"name":"a","elem_size":2,"dims":[16],"input":true}],"blocks":[{"name":"b","body":[{"loop":{"var":"i","trip":16,"body":[{"load":{"array":"a","index":[{"terms":[{"var":"i","coef":1}]}]}},{"compute":2}]}}]}]}}`))
+	// ...and hostile ones: truncated program, absurd dimensions,
+	// negative knobs, wrong shapes, trailing garbage.
+	f.Add(byte(0), []byte(`{"program":{"name":"p","arrays":[{"name":"a","elem_size":`))
+	f.Add(byte(0), []byte(`{"program":{"name":"p","arrays":[{"name":"a","elem_size":2147483647,"dims":[2147483647,2147483647]}],"blocks":[{"name":"b","body":[]}]}}`))
+	f.Add(byte(1), []byte(`{"app":"me","sizes":[-1,0,9223372036854775807]}`))
+	f.Add(byte(2), []byte(`{"apps":["me"],"batch_workers":-5}`))
+	f.Add(byte(0), []byte(`[1,2,3]`))
+	f.Add(byte(0), []byte(`{"app":"me"}{"app":"me"}`))
+	f.Add(byte(1), []byte(`null`))
+	f.Add(byte(2), []byte(``))
+
+	srv := New(Config{
+		CacheEntries: 8,
+		MaxBodyBytes: 1 << 16,
+		MaxStates:    20_000,
+		MaxInFlight:  2,
+	})
+	handler := srv.Handler()
+
+	f.Fuzz(func(t *testing.T, which byte, body []byte) {
+		endpoint := endpoints[int(which)%len(endpoints)]
+		req := httptest.NewRequest(http.MethodPost, endpoint, bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+
+		resp := rec.Result()
+		defer resp.Body.Close()
+		if resp.StatusCode >= 500 {
+			t.Fatalf("%s answered %d for body %q:\n%s", endpoint, resp.StatusCode, body, rec.Body.Bytes())
+		}
+		if resp.StatusCode == http.StatusOK {
+			if !json.Valid(rec.Body.Bytes()) {
+				t.Fatalf("%s 200 response is not valid JSON:\n%s", endpoint, rec.Body.Bytes())
+			}
+			return
+		}
+		// Every non-2xx must carry the typed error envelope.
+		var eb errorBody
+		if err := json.Unmarshal(rec.Body.Bytes(), &eb); err != nil {
+			t.Fatalf("%s %d response is not the typed error envelope (%v):\n%s",
+				endpoint, resp.StatusCode, err, rec.Body.Bytes())
+		}
+		if eb.Error.Code == "" || eb.Error.Message == "" {
+			t.Fatalf("%s %d typed error missing code or message:\n%s",
+				endpoint, resp.StatusCode, rec.Body.Bytes())
+		}
+	})
+}

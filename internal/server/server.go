@@ -1,0 +1,660 @@
+// Package server is the HTTP serving layer of the MHLA flow: a
+// long-lived JSON service over the compile-once analysis workspace of
+// internal/workspace, exposing the whole tool as endpoints.
+//
+//	POST /v1/run    — the four operating points of one program+platform
+//	POST /v1/sweep  — the concurrent L1 trade-off sweep
+//	POST /v1/batch  — an Explorer grid over catalog applications
+//	GET  /v1/apps   — the benchmark application catalog
+//	GET  /healthz   — liveness plus cache and in-flight statistics
+//
+// The core is a bounded LRU cache of compiled workspaces keyed by the
+// canonical program digest (modelio.ProgramDigest): N concurrent
+// requests for the same program compile it exactly once (singleflight)
+// and every later request reuses the analysis, so a hot serving loop
+// pays the program-side work once, not per request. The service is a
+// transport, never a second implementation — every compute response is
+// byte-identical to the corresponding direct pkg/mhla facade call
+// (mhla.Run + mhla.ResultJSON, mhla.SweepL1 + Sweep.JSON), which the
+// differential test battery enforces.
+//
+// Requests are bounded: a configurable in-flight semaphore, strict
+// JSON decoding with body-size caps, server-side limits on worker
+// counts and state budgets, and per-request context threading — a
+// client disconnect or server timeout aborts even a long
+// branch-and-bound search promptly and frees the slot.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mhla/internal/apps"
+	"mhla/pkg/mhla"
+)
+
+// Config configures a Server. The zero value is production-ready:
+// 64 cached workspaces, 4x GOMAXPROCS in-flight requests, 8 MiB
+// bodies, a 10M state-budget cap and no request timeout.
+type Config struct {
+	// CacheEntries bounds the compiled-workspace LRU (default 64,
+	// minimum 1).
+	CacheEntries int
+	// MaxInFlight bounds the compute requests (run, sweep, batch)
+	// executing concurrently; further requests wait for a slot
+	// (default 4x GOMAXPROCS). Note that /v1/run keeps the facade's
+	// engine default (exact engines fan over GOMAXPROCS workers) —
+	// run is the latency path, so a slot there can be a whole host's
+	// worth of compute; size MaxInFlight down (toward GOMAXPROCS) on
+	// deployments dominated by exact-engine run traffic.
+	MaxInFlight int
+	// RequestTimeout bounds each compute request end to end; 0 means
+	// no server-side deadline (client disconnects still cancel).
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps request bodies (default 8 MiB).
+	MaxBodyBytes int64
+	// MaxStates caps the max_states a request may ask for — the
+	// serving guardrail that keeps one hostile request from pinning a
+	// worker on an astronomical exact search (default 10M).
+	MaxStates int
+	// Progress, when non-nil, observes the flow progress of every
+	// compute request (phase entries plus engine snapshots). Requests
+	// run concurrently, so the callback must be safe for concurrent
+	// use.
+	Progress mhla.ProgressFunc
+	// OnCompile, when non-nil, runs once per workspace compilation
+	// with the program's digest — the metrics (and test) hook that
+	// observes the compiled-exactly-once guarantee.
+	OnCompile func(digest string)
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 64
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 4 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxStates <= 0 {
+		c.MaxStates = 10_000_000
+	}
+	return c
+}
+
+// Stats is a point-in-time snapshot of the server counters.
+type Stats struct {
+	// Cache are the compiled-workspace cache counters.
+	Cache CacheStats `json:"cache"`
+	// InFlight is the number of compute requests currently holding a
+	// slot.
+	InFlight int64 `json:"in_flight"`
+	// Requests counts requests accepted across all endpoints.
+	Requests int64 `json:"requests_total"`
+}
+
+// Server is the HTTP serving layer. Create one with New; it is safe
+// for concurrent use by any number of requests.
+type Server struct {
+	cfg   Config
+	cache *wsCache
+	sem   chan struct{}
+	// intake bounds the requests concurrently in their decode +
+	// validate + digest stage (before a compute slot is taken), so a
+	// flood of large inline-program bodies cannot drive unbounded
+	// decode/hash work and memory either. Sized at 4x the compute
+	// slots: wide enough that intake never starves the compute
+	// semaphore, narrow enough to cap the pre-slot footprint.
+	intake   chan struct{}
+	inFlight atomic.Int64
+	requests atomic.Int64
+	mux      *http.ServeMux
+
+	// catMu guards catalog, the lazily built (app, scale) -> built
+	// program + canonical digest memo. The catalog is a small fixed
+	// set, so warm app-mode requests skip the per-request program
+	// rebuild, re-encode and hash on the hot path (inline programs
+	// still digest per request — their bytes are the request).
+	catMu   sync.Mutex
+	catalog map[string]catalogProgram
+}
+
+// catalogProgram is one memoized catalog build.
+type catalogProgram struct {
+	prog   *mhla.Program
+	digest string
+}
+
+// New builds a Server from the configuration.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:    cfg,
+		cache:  newWSCache(cfg.CacheEntries, cfg.OnCompile),
+		sem:    make(chan struct{}, cfg.MaxInFlight),
+		intake: make(chan struct{}, 4*cfg.MaxInFlight),
+		mux:    http.NewServeMux(),
+
+		catalog: make(map[string]catalogProgram),
+	}
+	s.mux.HandleFunc("/healthz", s.count(s.handleHealthz))
+	s.mux.HandleFunc("/v1/apps", s.count(s.handleApps))
+	s.mux.HandleFunc("/v1/run", s.count(s.handleRun))
+	s.mux.HandleFunc("/v1/sweep", s.count(s.handleSweep))
+	s.mux.HandleFunc("/v1/batch", s.count(s.handleBatch))
+	s.mux.HandleFunc("/", s.count(func(w http.ResponseWriter, r *http.Request) {
+		(&apiError{status: http.StatusNotFound, code: "not_found",
+			msg: "unknown endpoint " + r.URL.Path}).write(w)
+	}))
+	return s
+}
+
+// Handler returns the HTTP handler; mount it on an http.Server (or an
+// httptest.Server in tests).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Cache:    s.cache.stats(),
+		InFlight: s.inFlight.Load(),
+		Requests: s.requests.Load(),
+	}
+}
+
+func (s *Server) count(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		h(w, r)
+	}
+}
+
+// requireMethod writes a typed 405 when the method does not match.
+func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method != method {
+		w.Header().Set("Allow", method)
+		(&apiError{status: http.StatusMethodNotAllowed, code: "method_not_allowed",
+			msg: r.Method + " not allowed; use " + method}).write(w)
+		return false
+	}
+	return true
+}
+
+// acquire takes an in-flight slot, waiting until one frees up or the
+// request dies. The returned release must run exactly once.
+func (s *Server) acquire(ctx context.Context) (release func(), apiErr *apiError) {
+	select {
+	case s.sem <- struct{}{}:
+		s.inFlight.Add(1)
+		return func() {
+			s.inFlight.Add(-1)
+			<-s.sem
+		}, nil
+	case <-ctx.Done():
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return nil, &apiError{status: http.StatusServiceUnavailable, code: "overloaded",
+				msg: "timed out waiting for an in-flight slot"}
+		}
+		return nil, &apiError{status: statusClientClosed, code: "canceled",
+			msg: "client went away while waiting for a slot"}
+	}
+}
+
+// intakeWaitMax bounds the wait for an intake slot: legitimate
+// decode stages take microseconds, so a full intake pool for longer
+// than this means slow-body abuse or overload — shed load with a 503
+// instead of hanging new requests behind it.
+const intakeWaitMax = time.Second
+
+// acquireIntake takes an intake slot for the decode/validate/digest
+// stage, waiting at most intakeWaitMax. The returned release is
+// idempotent: handlers release explicitly once the cheap stage is
+// done (before blocking on a compute slot, so queued compute never
+// starves intake) and also defer it for the error paths.
+func (s *Server) acquireIntake(ctx context.Context) (release func(), apiErr *apiError) {
+	idempotent := func() func() {
+		var once sync.Once
+		return func() { once.Do(func() { <-s.intake }) }
+	}
+	select {
+	case s.intake <- struct{}{}:
+		return idempotent(), nil
+	default:
+	}
+	timer := time.NewTimer(intakeWaitMax)
+	defer timer.Stop()
+	select {
+	case s.intake <- struct{}{}:
+		return idempotent(), nil
+	case <-timer.C:
+		return nil, &apiError{status: http.StatusServiceUnavailable, code: "overloaded",
+			msg: "intake full: timed out waiting for an intake slot"}
+	case <-ctx.Done():
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return nil, &apiError{status: http.StatusServiceUnavailable, code: "overloaded",
+				msg: "timed out waiting for an intake slot"}
+		}
+		return nil, &apiError{status: statusClientClosed, code: "canceled",
+			msg: "client went away while waiting for an intake slot"}
+	}
+}
+
+// computeCtx applies the server-side request timeout.
+func (s *Server) computeCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.cfg.RequestTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	}
+	return r.Context(), func() {}
+}
+
+// resolveProgram builds the referenced program and its canonical
+// digest: catalog apps through the per-(app, scale) memo, inline
+// programs through decode + digest.
+func (s *Server) resolveProgram(ref programRef) (*mhla.Program, string, *apiError) {
+	if ref.App == "" || len(ref.Program) > 0 {
+		// Inline path — or an invalid combination, which resolve
+		// reports.
+		return resolveFresh(ref)
+	}
+	scale, apiErr := ref.scaleName()
+	if apiErr != nil {
+		return nil, "", apiErr
+	}
+	// Memo first: warm app-mode requests skip the program rebuild as
+	// well as the re-encode + hash.
+	key := ref.App + "/" + scale
+	s.catMu.Lock()
+	memo, ok := s.catalog[key]
+	s.catMu.Unlock()
+	if ok {
+		return memo.prog, memo.digest, nil
+	}
+	prog, digest, apiErr := resolveFresh(ref)
+	if apiErr != nil {
+		return nil, "", apiErr
+	}
+	s.catMu.Lock()
+	// First store wins, so every request of an (app, scale) pair
+	// shares one program value (and thus one workspace identity).
+	if memo, ok := s.catalog[key]; ok {
+		s.catMu.Unlock()
+		return memo.prog, memo.digest, nil
+	}
+	s.catalog[key] = catalogProgram{prog: prog, digest: digest}
+	s.catMu.Unlock()
+	return prog, digest, nil
+}
+
+// resolveFresh builds the referenced program and digests it, without
+// the memo.
+func resolveFresh(ref programRef) (*mhla.Program, string, *apiError) {
+	prog, apiErr := ref.resolve()
+	if apiErr != nil {
+		return nil, "", apiErr
+	}
+	digest, err := mhla.ProgramDigest(prog)
+	if err != nil {
+		return nil, "", badRequest("invalid_program", "%v", err)
+	}
+	return prog, digest, nil
+}
+
+// workspaceFor returns the compiled workspace of the program through
+// the LRU cache: canonical digest as key, singleflight compile on
+// miss.
+func (s *Server) workspaceFor(prog *mhla.Program, digest string) (*mhla.Workspace, *apiError) {
+	ws, err := s.cache.get(digest, func() (*mhla.Workspace, error) {
+		return mhla.Compile(prog)
+	})
+	if err != nil {
+		// The program passed decode validation, so a compile failure is
+		// input-derived (the analysis rejected it) — a client error.
+		return nil, badRequest("invalid_program", "%v", err)
+	}
+	return ws, nil
+}
+
+// mapRunError translates a facade error into the typed wire form.
+func mapRunError(err error) *apiError {
+	var optErr *mhla.OptionError
+	switch {
+	case errors.As(err, &optErr):
+		return badRequest("invalid_option", "%v", err)
+	case errors.Is(err, context.DeadlineExceeded):
+		return &apiError{status: http.StatusGatewayTimeout, code: "timeout",
+			msg: "request timed out mid-flow"}
+	case errors.Is(err, context.Canceled):
+		// Either the client disconnected or the server is draining
+		// past its shutdown budget; both cancel the request context.
+		return &apiError{status: statusClientClosed, code: "canceled",
+			msg: "request canceled mid-flow"}
+	default:
+		// Unexpected failures keep a fixed wire message: raw internal
+		// error strings (package paths, program internals) stay out of
+		// untrusted clients' hands.
+		return &apiError{status: http.StatusInternalServerError, code: "internal",
+			msg: "internal error running the flow"}
+	}
+}
+
+// flowOptions assembles the shared option prefix of a compute call:
+// the cached workspace plus the server-wide progress observer.
+func (s *Server) flowOptions(ws *mhla.Workspace) []mhla.Option {
+	opts := []mhla.Option{mhla.WithWorkspace(ws)}
+	if s.cfg.Progress != nil {
+		opts = append(opts, mhla.WithProgress(s.cfg.Progress))
+	}
+	return opts
+}
+
+// handleRun serves POST /v1/run: the full MHLA+TE flow on one
+// program+platform, answered with mhla.ResultJSON bytes.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	ctx, cancel := s.computeCtx(r)
+	defer cancel()
+	releaseIntake, apiErr := s.acquireIntake(ctx)
+	if apiErr != nil {
+		apiErr.write(w)
+		return
+	}
+	defer releaseIntake()
+	var req runRequest
+	if apiErr := decodeRequest(w, r, s.cfg.MaxBodyBytes, &req); apiErr != nil {
+		apiErr.write(w)
+		return
+	}
+	searchOpts, apiErr := req.options(s.cfg.MaxStates)
+	if apiErr != nil {
+		apiErr.write(w)
+		return
+	}
+	platOpts, apiErr := req.platformOptions()
+	if apiErr != nil {
+		apiErr.write(w)
+		return
+	}
+	prog, digest, apiErr := s.resolveProgram(req.programRef)
+	if apiErr != nil {
+		apiErr.write(w)
+		return
+	}
+	// The slot is taken only once the request is fully read and
+	// validated, so slow-body or malformed clients never pin a
+	// compute slot; the compile + flow below are the bounded work.
+	// The intake slot goes back first — a request queued on compute
+	// must not starve the fast-reject path of later requests.
+	releaseIntake()
+	release, apiErr := s.acquire(ctx)
+	if apiErr != nil {
+		apiErr.write(w)
+		return
+	}
+	defer release()
+	ws, apiErr := s.workspaceFor(prog, digest)
+	if apiErr != nil {
+		apiErr.write(w)
+		return
+	}
+
+	opts := append(s.flowOptions(ws), platOpts...)
+	opts = append(opts, searchOpts...)
+	res, err := mhla.Run(ctx, nil, opts...)
+	if err != nil {
+		mapRunError(err).write(w)
+		return
+	}
+	body, err := mhla.ResultJSON(res)
+	if err != nil {
+		mapRunError(err).write(w)
+		return
+	}
+	writeJSON(w, body)
+}
+
+// handleSweep serves POST /v1/sweep: the concurrent L1 sweep over the
+// cached workspace, answered with Sweep.JSON bytes.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	ctx, cancel := s.computeCtx(r)
+	defer cancel()
+	releaseIntake, apiErr := s.acquireIntake(ctx)
+	if apiErr != nil {
+		apiErr.write(w)
+		return
+	}
+	defer releaseIntake()
+	var req sweepRequest
+	if apiErr := decodeRequest(w, r, s.cfg.MaxBodyBytes, &req); apiErr != nil {
+		apiErr.write(w)
+		return
+	}
+	if apiErr := req.validateSizes(); apiErr != nil {
+		apiErr.write(w)
+		return
+	}
+	searchOpts, apiErr := req.options(s.cfg.MaxStates)
+	if apiErr != nil {
+		apiErr.write(w)
+		return
+	}
+	prog, digest, apiErr := s.resolveProgram(req.programRef)
+	if apiErr != nil {
+		apiErr.write(w)
+		return
+	}
+	releaseIntake()
+	release, apiErr := s.acquire(ctx)
+	if apiErr != nil {
+		apiErr.write(w)
+		return
+	}
+	defer release()
+	ws, apiErr := s.workspaceFor(prog, digest)
+	if apiErr != nil {
+		apiErr.write(w)
+		return
+	}
+
+	opts := append(s.flowOptions(ws), searchOpts...)
+	// Nested pools multiply, so inside a sweep the engine worker count
+	// defaults to 1 (the sweep pool owns the parallelism), an explicit
+	// engine count on a parallel engine turns the sweep sequential,
+	// and an explicit pair is product-capped by validateSizes — one
+	// request is never more parallelism than a slot's worth. The
+	// greedy engine (the default) ignores Workers entirely, so an
+	// explicit count there must not cost the sweep its own pool.
+	// Results are identical at every worker count, so none of this
+	// shapes responses, only scheduling.
+	if req.SweepWorkers > 0 {
+		opts = append(opts, mhla.WithSweepWorkers(req.SweepWorkers))
+	}
+	if req.Workers == 0 {
+		opts = append(opts, mhla.WithWorkers(1))
+	} else if req.SweepWorkers == 0 && isExactEngine(req.Engine) {
+		opts = append(opts, mhla.WithSweepWorkers(1))
+	}
+	sw, err := mhla.SweepL1(ctx, nil, req.Sizes, opts...)
+	if err != nil {
+		mapRunError(err).write(w)
+		return
+	}
+	body, err := sw.JSON()
+	if err != nil {
+		mapRunError(err).write(w)
+		return
+	}
+	writeJSON(w, body)
+}
+
+// handleBatch serves POST /v1/batch: an Explorer grid over catalog
+// applications, every distinct program resolved through the workspace
+// cache.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	ctx, cancel := s.computeCtx(r)
+	defer cancel()
+	releaseIntake, apiErr := s.acquireIntake(ctx)
+	if apiErr != nil {
+		apiErr.write(w)
+		return
+	}
+	defer releaseIntake()
+	var req batchRequest
+	if apiErr := decodeRequest(w, r, s.cfg.MaxBodyBytes, &req); apiErr != nil {
+		apiErr.write(w)
+		return
+	}
+	if apiErr := req.validate(); apiErr != nil {
+		apiErr.write(w)
+		return
+	}
+	searchOpts, apiErr := req.options(s.cfg.MaxStates)
+	if apiErr != nil {
+		apiErr.write(w)
+		return
+	}
+	var objectives []mhla.Objective
+	for _, name := range req.Objectives {
+		o, err := mhla.ParseObjective(name)
+		if err != nil {
+			badRequest("invalid_option", "%v", err).write(w)
+			return
+		}
+		objectives = append(objectives, o)
+	}
+
+	releaseIntake()
+	release, apiErr := s.acquire(ctx)
+	if apiErr != nil {
+		apiErr.write(w)
+		return
+	}
+	defer release()
+
+	grid := mhla.Grid{
+		L1Sizes:    req.L1Sizes,
+		Objectives: objectives,
+		Options:    searchOpts,
+	}
+	// Resolve every app through the workspace cache so repeated batch
+	// requests (and concurrent run/sweep requests for the same apps)
+	// share one compiled analysis per program.
+	workspaces := make(map[*mhla.Program]*mhla.Workspace, len(req.Apps))
+	for _, ref := range req.Apps {
+		prog, digest, apiErr := s.resolveProgram(programRef{App: ref, Scale: req.Scale})
+		if apiErr != nil {
+			apiErr.write(w)
+			return
+		}
+		ws, apiErr := s.workspaceFor(prog, digest)
+		if apiErr != nil {
+			apiErr.write(w)
+			return
+		}
+		// Run the grid jobs against the cached workspace's own program
+		// value: WithWorkspace checks program identity.
+		workspaces[ws.Program] = ws
+		grid.Apps = append(grid.Apps, mhla.GridApp{Name: ref, Program: ws.Program})
+	}
+
+	jobs := grid.Jobs()
+	for i := range jobs {
+		jobs[i].Options = append([]mhla.Option{mhla.WithWorkspace(workspaces[jobs[i].Program])}, jobs[i].Options...)
+	}
+	ex := mhla.Explorer{Workers: req.BatchWorkers}
+	// Same nested-pool discipline as the sweep: engine workers default
+	// to 1 (the Explorer pool owns the parallelism), an explicit
+	// engine count on a parallel engine turns the Explorer sequential
+	// (greedy ignores Workers, so it keeps the pool), and an explicit
+	// pair is product-capped above.
+	if req.Workers == 0 {
+		ex.Options = append(ex.Options, mhla.WithWorkers(1))
+	} else if req.BatchWorkers == 0 && isExactEngine(req.Engine) {
+		ex.Workers = 1
+	}
+	if s.cfg.Progress != nil {
+		ex.Options = append(ex.Options, mhla.WithProgress(s.cfg.Progress))
+	}
+	results, err := ex.Explore(ctx, jobs)
+	if err != nil {
+		mapRunError(err).write(w)
+		return
+	}
+	resp := batchResponse{Jobs: make([]batchJobJSON, 0, len(results))}
+	for _, jr := range results {
+		job := batchJobJSON{Label: jr.Label}
+		if jr.Err != nil {
+			// Same sanitization discipline as mapRunError: input-derived
+			// and context errors pass through, anything unexpected stays
+			// a fixed message.
+			job.Error = mapRunError(jr.Err).msg
+		} else {
+			body, err := mhla.ResultJSON(jr.Result)
+			if err != nil {
+				mapRunError(err).write(w)
+				return
+			}
+			job.Result = body
+		}
+		resp.Jobs = append(resp.Jobs, job)
+	}
+	body, err := json.MarshalIndent(resp, "", "  ")
+	if err != nil {
+		mapRunError(err).write(w)
+		return
+	}
+	writeJSON(w, body)
+}
+
+// handleApps serves GET /v1/apps: the benchmark catalog.
+func (s *Server) handleApps(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	catalog := apps.All()
+	out := make([]appJSON, 0, len(catalog))
+	for _, app := range catalog {
+		out = append(out, appJSON{
+			Name:        app.Name,
+			Domain:      app.Domain,
+			Description: app.Description,
+			L1Bytes:     app.L1,
+		})
+	}
+	body, err := json.MarshalIndent(struct {
+		Apps []appJSON `json:"apps"`
+	}{Apps: out}, "", "  ")
+	if err != nil {
+		(&apiError{status: http.StatusInternalServerError, code: "internal", msg: err.Error()}).write(w)
+		return
+	}
+	writeJSON(w, body)
+}
+
+// handleHealthz serves GET /healthz: liveness plus the counters.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	body, err := json.MarshalIndent(healthJSON{Status: "ok", Stats: s.Stats()}, "", "  ")
+	if err != nil {
+		(&apiError{status: http.StatusInternalServerError, code: "internal", msg: err.Error()}).write(w)
+		return
+	}
+	writeJSON(w, body)
+}

@@ -1,0 +1,45 @@
+package mhla
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"mhla/internal/explore"
+	"mhla/internal/modelio"
+)
+
+// resultJSON mirrors the modelio schema conventions (snake_case keys)
+// for machine consumption of a flow result — by construction the same
+// shape as one point of Sweep.JSON (both embed the shared
+// explore.ResultFields), plus the program and platform identity.
+type resultJSON struct {
+	App      string `json:"app"`
+	Platform string `json:"platform"`
+	explore.ResultFields
+}
+
+// ResultJSON renders a flow result as indented JSON following the
+// modelio naming conventions: the four operating points (cycles and
+// energies), the search state count and the TE applicability. The
+// encoding is deterministic — equal results render to equal bytes —
+// which is what lets the serving layer promise responses
+// byte-identical to direct facade calls (the HTTP transport writes
+// exactly these bytes).
+func ResultJSON(r *Result) ([]byte, error) {
+	if r == nil {
+		return nil, fmt.Errorf("mhla: nil result")
+	}
+	out := resultJSON{
+		App:          r.Program.Name,
+		Platform:     r.Platform.Name,
+		ResultFields: explore.ResultFieldsOf(r),
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// ProgramDigest returns the hex SHA-256 digest of the program's
+// canonical interchange encoding: same model, same digest, regardless
+// of how the program was built or formatted on the wire. The serving
+// layer keys its compiled-workspace cache on it; external caches can
+// use it the same way.
+func ProgramDigest(p *Program) (string, error) { return modelio.ProgramDigest(p) }

@@ -1,0 +1,156 @@
+package mhla_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"mhla/pkg/mhla"
+)
+
+// jsonProgram is a small deterministic two-array kernel used by the
+// facade JSON tests.
+func jsonProgram() *mhla.Program {
+	p := mhla.NewProgram("jsonfixture")
+	src := p.NewInput("src", 2, 64)
+	dst := p.NewOutput("dst", 2, 64)
+	p.AddBlock("copy",
+		mhla.For("i", 64,
+			mhla.For("k", 8,
+				mhla.Load(src, mhla.Idx("i")),
+				mhla.Work(1),
+			),
+			mhla.Store(dst, mhla.Idx("i"))))
+	return p
+}
+
+// TestResultJSONDeterministic: equal runs render to equal bytes, and
+// the schema carries the four operating points in snake_case.
+func TestResultJSONDeterministic(t *testing.T) {
+	prog := jsonProgram()
+	res1, err := mhla.Run(context.Background(), prog, mhla.WithL1(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := mhla.Run(context.Background(), prog, mhla.WithL1(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := mhla.ResultJSON(res1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := mhla.ResultJSON(res2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("equal runs rendered differently:\n%s\n%s", b1, b2)
+	}
+
+	var decoded map[string]any
+	if err := json.Unmarshal(b1, &decoded); err != nil {
+		t.Fatalf("ResultJSON is not valid JSON: %v", err)
+	}
+	for _, key := range []string{
+		"app", "platform", "orig_cycles", "mhla_cycles", "te_cycles",
+		"ideal_cycles", "orig_pj", "mhla_pj", "search_states", "te_applicable",
+	} {
+		if _, ok := decoded[key]; !ok {
+			t.Errorf("ResultJSON missing key %q", key)
+		}
+	}
+	if decoded["app"] != "jsonfixture" {
+		t.Errorf("app = %v, want jsonfixture", decoded["app"])
+	}
+
+	if _, err := mhla.ResultJSON(nil); err == nil {
+		t.Error("ResultJSON(nil) succeeded")
+	}
+}
+
+// TestResultJSONMatchesSweepPointSchema pins the documented shape
+// parity: every data field of one Sweep.JSON point (the snake_case
+// schema /v1/sweep serves) appears in ResultJSON (the /v1/run schema)
+// under the same key with the same value for the same flow
+// configuration.
+func TestResultJSONMatchesSweepPointSchema(t *testing.T) {
+	prog := jsonProgram()
+	sw, err := mhla.SweepL1(context.Background(), prog, []int64{256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	swJSON, err := sw.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sweep struct {
+		Points []map[string]any `json:"points"`
+	}
+	if err := json.Unmarshal(swJSON, &sweep); err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Points) != 1 {
+		t.Fatalf("sweep has %d points, want 1", len(sweep.Points))
+	}
+	point := sweep.Points[0]
+
+	res, err := mhla.Run(context.Background(), prog, mhla.WithL1(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resJSON, err := mhla.ResultJSON(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var result map[string]any
+	if err := json.Unmarshal(resJSON, &result); err != nil {
+		t.Fatal(err)
+	}
+
+	for key, want := range point {
+		if key == "l1_bytes" {
+			// The point's size axis; ResultJSON carries the platform
+			// name instead.
+			continue
+		}
+		got, ok := result[key]
+		if !ok {
+			t.Errorf("ResultJSON missing sweep-point key %q", key)
+			continue
+		}
+		if got != want {
+			t.Errorf("key %q differs: run %v, sweep point %v", key, got, want)
+		}
+	}
+}
+
+// TestProgramDigestFacade: the facade digest is stable across the
+// interchange round trip and distinguishes distinct models.
+func TestProgramDigestFacade(t *testing.T) {
+	p := jsonProgram()
+	d1, err := mhla.ProgramDigest(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := mhla.EncodeProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := mhla.DecodeProgram(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := mhla.ProgramDigest(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatalf("digest changed across round trip: %s != %s", d1, d2)
+	}
+	q.Name = "renamed"
+	if d3, _ := mhla.ProgramDigest(q); d3 == d1 {
+		t.Fatal("digest ignored the program name")
+	}
+}
