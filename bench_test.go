@@ -671,6 +671,57 @@ func BenchmarkTraceSimulator(b *testing.B) {
 	}
 }
 
+// BenchmarkCacheSim measures the trace-driven hardware cache +
+// prefetch simulator (the second backend) replaying paper-scale motion
+// estimation (~14.6M accesses) through the default hierarchy, one
+// sub-benchmark per prefetcher variant. The headline metric is
+// accesses/s — the replay rate of the demand stream, reported as
+// macc_per_s (millions of accesses per second). hit_pct and pf_pct
+// record the model outputs so regressions in the simulation itself
+// (not just its speed) show up in the numbers. Measured numbers are
+// recorded in BENCH_CACHESIM.json.
+func BenchmarkCacheSim(b *testing.B) {
+	app, err := apps.ByName("me")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog := app.Build(apps.Paper)
+	ws, err := mhla.Compile(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plat := mhla.TwoLevel(app.L1)
+	base := mhla.CacheConfigFor(plat, 0, 0)
+	for _, kind := range []mhla.Prefetcher{mhla.PrefetchNone, mhla.PrefetchNextLine, mhla.PrefetchStride} {
+		kind := kind
+		b.Run(kind.String(), func(b *testing.B) {
+			cfg := mhla.CacheConfig{Levels: append([]mhla.CacheLevel(nil), base.Levels...), MaxAccesses: 20_000_000}
+			for i := range cfg.Levels {
+				cfg.Levels[i].Prefetcher = kind
+				if kind != mhla.PrefetchNone {
+					cfg.Levels[i].PrefetchLatency = 4
+				}
+			}
+			var res *mhla.CacheResult
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = mhla.Simulate(context.Background(), prog, cfg,
+					mhla.WithPlatform(plat), mhla.WithWorkspace(ws))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			perOp := b.Elapsed().Seconds() / float64(b.N)
+			b.ReportMetric(float64(res.Accesses)/perOp/1e6, "macc_per_s")
+			l1 := res.Levels[0]
+			b.ReportMetric(100*float64(l1.Hits)/float64(l1.Accesses), "hit_pct")
+			b.ReportMetric(100*float64(l1.PrefetchHits)/float64(l1.Accesses), "pf_pct")
+		})
+	}
+}
+
 // BenchmarkAblationWrites quantifies the write-back overlap extension
 // (A4, beyond the paper's Figure 1): plan TE with and without
 // ExtendWrites and report the remaining stall cycles.

@@ -21,6 +21,13 @@
 //	mhla -app me -platform p.json  # explore on an external platform
 //	mhla -list                   # list the applications (sorted by name)
 //
+// The trace-driven cache simulator backend compares hardware-cache
+// operating points (plain LRU, next-line and stride prefetch) on the
+// same program+platform:
+//
+//	mhla -app durbin -scale test -simulate
+//	mhla -app me -simulate -sim-line 64 -sim-ways 2 -sim-prefetch stride
+//
 // For performance work the flow can capture pprof data directly:
 //
 //	mhla -app me -engine bnb -cpuprofile cpu.out -memprofile mem.out
@@ -42,21 +49,30 @@ import (
 
 func main() {
 	var (
-		appName    = flag.String("app", "me", "application to run (see -list)")
-		l1         = flag.Int64("l1", 0, "on-chip scratchpad bytes (0 = application default)")
-		scale      = flag.String("scale", "paper", "workload scale: paper or test")
-		objective  = flag.String("objective", "energy", "search objective: energy, time or edp")
-		engine     = flag.String("engine", "greedy", "search engine: greedy, bnb or exhaustive")
-		workers    = flag.Int("workers", 0, "worker goroutines for the exact engines (0 = GOMAXPROCS; results are identical at any count)")
-		policy     = flag.String("policy", "slide", "copy transfer policy: slide or refetch")
-		noTE       = flag.Bool("no-te", false, "skip the time-extension step")
-		noDMA      = flag.Bool("no-dma", false, "platform without a DMA engine (TE not applicable)")
-		noInplace  = flag.Bool("no-inplace", false, "disable lifetime-aware (in-place) size estimation")
-		timeout    = flag.Duration("timeout", 0, "abort the flow after this duration (0 = none)")
-		verbose    = flag.Bool("verbose", false, "print the assignment and the TE plan")
-		list       = flag.Bool("list", false, "list the available applications")
-		modelFile  = flag.String("model", "", "JSON application model file (overrides -app)")
-		platFile   = flag.String("platform", "", "JSON platform file (overrides -l1/-no-dma)")
+		appName     = flag.String("app", "me", "application to run (see -list)")
+		l1          = flag.Int64("l1", 0, "on-chip scratchpad bytes (0 = application default)")
+		scale       = flag.String("scale", "paper", "workload scale: paper or test")
+		objective   = flag.String("objective", "energy", "search objective: energy, time or edp")
+		engine      = flag.String("engine", "greedy", "search engine: greedy, bnb or exhaustive")
+		workers     = flag.Int("workers", 0, "worker goroutines for the exact engines (0 = GOMAXPROCS; results are identical at any count)")
+		policy      = flag.String("policy", "slide", "copy transfer policy: slide or refetch")
+		noTE        = flag.Bool("no-te", false, "skip the time-extension step")
+		noDMA       = flag.Bool("no-dma", false, "platform without a DMA engine (TE not applicable)")
+		noInplace   = flag.Bool("no-inplace", false, "disable lifetime-aware (in-place) size estimation")
+		timeout     = flag.Duration("timeout", 0, "abort the flow after this duration (0 = none)")
+		verbose     = flag.Bool("verbose", false, "print the assignment and the TE plan")
+		list        = flag.Bool("list", false, "list the available applications")
+		modelFile   = flag.String("model", "", "JSON application model file (overrides -app)")
+		platFile    = flag.String("platform", "", "JSON platform file (overrides -l1/-no-dma)")
+		simulate    = flag.Bool("simulate", false, "run the trace-driven cache+prefetch simulator instead of the MHLA flow")
+		simLine     = flag.Int("sim-line", 32, "simulator cache line bytes (power of two)")
+		simWays     = flag.Int("sim-ways", 4, "simulator cache associativity")
+		simPrefetch = flag.String("sim-prefetch", "all",
+			"simulator prefetcher: none, nextline, stride, or all to compare every variant")
+		simEntries = flag.Int("sim-entries", 8, "simulator prefetch buffer entries per level")
+		simDegree  = flag.Int("sim-degree", 1, "simulator prefetch degree (lines per trigger)")
+		simLatency = flag.Int("sim-latency", 4, "simulator prefetch arrival latency in demand accesses")
+		simMaxAcc  = flag.Int64("sim-max-accesses", 0, "simulator trace budget (0 = default 5M; paper-scale apps may need -scale test)")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the flow to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
@@ -135,6 +151,29 @@ func main() {
 		}
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	if *simulate {
+		err := runSimulate(ctx, prog, plat, simFlags{
+			line:        *simLine,
+			ways:        *simWays,
+			prefetch:    *simPrefetch,
+			entries:     *simEntries,
+			degree:      *simDegree,
+			latency:     *simLatency,
+			maxAccesses: *simMaxAcc,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	obj, err := mhla.ParseObjective(*objective)
 	if err != nil {
 		fatal(err)
@@ -161,12 +200,6 @@ func main() {
 		opts = append(opts, mhla.WithoutInPlace())
 	}
 
-	ctx := context.Background()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
 	res, err := mhla.Run(ctx, prog, opts...)
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,165 @@
+package cachesim
+
+// This file is the hardware state of one cache level: a set-associative
+// LRU cache and the FIFO prefetch buffer in front of it. Both operate
+// on line indices (byte address >> lineShift); neither knows about
+// costs — pricing happens in the simulator loop with the platform cost
+// model.
+
+// cacheEntry is one resident line of a set.
+type cacheEntry struct {
+	tag   int64
+	dirty bool
+}
+
+// cache is a set-associative LRU cache over line indices. Each set
+// keeps its entries ordered most-recently-used first, so LRU is the
+// last slot and the iteration order is deterministic.
+type cache struct {
+	ways     int
+	setMask  int64
+	tagShift uint
+	sets     [][]cacheEntry
+}
+
+func newCache(nsets, ways int) *cache {
+	c := &cache{
+		ways:     ways,
+		setMask:  int64(nsets - 1),
+		tagShift: uint(log2(int64(nsets))),
+		sets:     make([][]cacheEntry, nsets),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]cacheEntry, 0, ways)
+	}
+	return c
+}
+
+func (c *cache) locate(line int64) (set []cacheEntry, si int, idx int) {
+	si = int(line & c.setMask)
+	set = c.sets[si]
+	tag := line >> c.tagShift
+	for i := range set {
+		if set[i].tag == tag {
+			return set, si, i
+		}
+	}
+	return set, si, -1
+}
+
+// access probes the cache for a demand access: a hit promotes the line
+// to MRU (and marks it dirty for a store).
+func (c *cache) access(line int64, dirty bool) bool {
+	set, si, i := c.locate(line)
+	if i < 0 {
+		return false
+	}
+	e := set[i]
+	e.dirty = e.dirty || dirty
+	copy(set[1:i+1], set[:i])
+	set[0] = e
+	c.sets[si] = set
+	return true
+}
+
+// contains probes without touching recency (used by prefetch-issue
+// filtering and source probing).
+func (c *cache) contains(line int64) bool {
+	_, _, i := c.locate(line)
+	return i >= 0
+}
+
+// markDirty sets the dirty bit of a resident line without touching
+// recency; it reports whether the line was present.
+func (c *cache) markDirty(line int64) bool {
+	set, _, i := c.locate(line)
+	if i < 0 {
+		return false
+	}
+	set[i].dirty = true
+	return true
+}
+
+// fill installs a line at MRU, evicting the LRU entry of a full set.
+// The line must not be resident already.
+func (c *cache) fill(line int64, dirty bool) (victim int64, victimDirty, evicted bool) {
+	si := int(line & c.setMask)
+	set := c.sets[si]
+	if len(set) == c.ways {
+		last := set[len(set)-1]
+		victim = last.tag<<c.tagShift | int64(si)
+		victimDirty = last.dirty
+		evicted = true
+		set = set[:len(set)-1]
+	}
+	set = append(set, cacheEntry{})
+	copy(set[1:], set)
+	set[0] = cacheEntry{tag: line >> c.tagShift, dirty: dirty}
+	c.sets[si] = set
+	return victim, victimDirty, evicted
+}
+
+// dirtyLines returns every dirty resident line in deterministic
+// (set-major, MRU-first) order — the end-of-trace flush order.
+func (c *cache) dirtyLines() []int64 {
+	var out []int64
+	for si, set := range c.sets {
+		for _, e := range set {
+			if e.dirty {
+				out = append(out, e.tag<<c.tagShift|int64(si))
+			}
+		}
+	}
+	return out
+}
+
+// prefetchBuffer is the FIFO buffer prefetched lines land in (the
+// SNIPPETS-exemplar organization): demand hits consume an entry into
+// the cache proper; a full buffer drops its oldest entry.
+type prefetchBuffer struct {
+	entries int
+	lines   []int64
+}
+
+func newPrefetchBuffer(entries int) *prefetchBuffer {
+	return &prefetchBuffer{entries: entries}
+}
+
+func (b *prefetchBuffer) contains(line int64) bool {
+	for _, l := range b.lines {
+		if l == line {
+			return true
+		}
+	}
+	return false
+}
+
+// consume removes the line if buffered, reporting whether it was.
+func (b *prefetchBuffer) consume(line int64) bool {
+	for i, l := range b.lines {
+		if l == line {
+			b.lines = append(b.lines[:i], b.lines[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// push appends a line, dropping the oldest entry of a full buffer.
+func (b *prefetchBuffer) push(line int64) {
+	if len(b.lines) == b.entries {
+		copy(b.lines, b.lines[1:])
+		b.lines = b.lines[:len(b.lines)-1]
+	}
+	b.lines = append(b.lines, line)
+}
+
+// log2 returns floor(log2(v)) for v >= 1.
+func log2(v int64) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}

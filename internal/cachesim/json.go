@@ -1,0 +1,84 @@
+package cachesim
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// levelJSON is the snake_case wire form of one cache level.
+type levelJSON struct {
+	Layer            string  `json:"layer"`
+	Sets             int     `json:"sets"`
+	Ways             int     `json:"ways"`
+	LineBytes        int     `json:"line_bytes"`
+	Prefetcher       string  `json:"prefetcher"`
+	PrefetchEntries  int     `json:"prefetch_entries,omitempty"`
+	PrefetchDegree   int     `json:"prefetch_degree,omitempty"`
+	PrefetchLatency  int     `json:"prefetch_latency,omitempty"`
+	Accesses         int64   `json:"accesses"`
+	Hits             int64   `json:"hits"`
+	PrefetchHits     int64   `json:"prefetch_hits"`
+	Misses           int64   `json:"misses"`
+	Evictions        int64   `json:"evictions"`
+	Writebacks       int64   `json:"writebacks"`
+	PrefetchIssued   int64   `json:"prefetch_issued"`
+	PrefetchUseful   int64   `json:"prefetch_useful"`
+	PrefetchLate     int64   `json:"prefetch_late"`
+	PrefetchAccuracy float64 `json:"prefetch_accuracy"`
+}
+
+// resultJSON is the snake_case wire form of a Result, following the
+// modelio naming conventions like the other facade encoders.
+type resultJSON struct {
+	App            string      `json:"app"`
+	Platform       string      `json:"platform"`
+	Accesses       int64       `json:"accesses"`
+	MemoryAccesses int64       `json:"memory_accesses"`
+	ComputeCycles  int64       `json:"compute_cycles"`
+	Cycles         int64       `json:"cycles"`
+	EnergyPJ       float64     `json:"energy_pj"`
+	Levels         []levelJSON `json:"levels"`
+}
+
+// JSON renders the result as indented JSON. The encoding is
+// deterministic — equal results render to equal bytes — which is what
+// lets the serving layer promise /v1/simulate responses byte-identical
+// to direct facade calls.
+func (r *Result) JSON() ([]byte, error) {
+	if r == nil {
+		return nil, fmt.Errorf("cachesim: nil result")
+	}
+	out := resultJSON{
+		App:            r.Program,
+		Platform:       r.Platform,
+		Accesses:       r.Accesses,
+		MemoryAccesses: r.MemoryAccesses,
+		ComputeCycles:  r.ComputeCycles,
+		Cycles:         r.Cycles,
+		EnergyPJ:       r.Energy,
+		Levels:         make([]levelJSON, 0, len(r.Levels)),
+	}
+	for _, lv := range r.Levels {
+		out.Levels = append(out.Levels, levelJSON{
+			Layer:            lv.Layer,
+			Sets:             lv.Sets,
+			Ways:             lv.Ways,
+			LineBytes:        lv.LineBytes,
+			Prefetcher:       lv.Prefetcher.String(),
+			PrefetchEntries:  lv.PrefetchEntries,
+			PrefetchDegree:   lv.PrefetchDegree,
+			PrefetchLatency:  lv.PrefetchLatency,
+			Accesses:         lv.Accesses,
+			Hits:             lv.Hits,
+			PrefetchHits:     lv.PrefetchHits,
+			Misses:           lv.Misses,
+			Evictions:        lv.Evictions,
+			Writebacks:       lv.Writebacks,
+			PrefetchIssued:   lv.PrefetchIssued,
+			PrefetchUseful:   lv.PrefetchUseful,
+			PrefetchLate:     lv.PrefetchLate,
+			PrefetchAccuracy: lv.PrefetchAccuracy(),
+		})
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

@@ -1,0 +1,77 @@
+package cachesim
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+
+	"mhla/internal/platform"
+	"mhla/internal/workspace"
+)
+
+// SimulateAll runs one simulation per configuration over a bounded
+// worker pool sharing the immutable workspace. Results are returned in
+// input order and are byte-identical at every worker count (each run
+// owns its state; the shared workspace is read-only). workers bounds
+// the pool (0 = GOMAXPROCS, 1 = sequential). The first error (by input
+// index) cancels the remaining runs and is returned.
+func SimulateAll(ctx context.Context, ws *workspace.Workspace, plat *platform.Platform, cfgs []Config, workers int) ([]*Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]*Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				res, err := Simulate(ctx, ws, plat, cfgs[i])
+				if err != nil {
+					errs[i] = err
+					cancel()
+					continue
+				}
+				results[i] = res
+			}
+		}()
+	}
+	for i := range cfgs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Deterministic error selection: the lowest-index real failure
+	// wins over the cancellations it triggered in later jobs; a
+	// caller-level cancellation (every job canceled) surfaces as is.
+	var firstErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		if !errors.Is(err, context.Canceled) {
+			return nil, err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"mhla/internal/apps"
@@ -54,6 +55,10 @@ type apiError struct {
 	status int
 	code   string
 	msg    string
+	// retryAfter, when positive, is sent as a Retry-After header (in
+	// seconds) — the load-shedding paths set it so well-behaved clients
+	// back off instead of hammering a full intake pool.
+	retryAfter int
 }
 
 func badRequest(code, format string, args ...any) *apiError {
@@ -83,6 +88,9 @@ func (e *apiError) write(w http.ResponseWriter) {
 	}
 	armWriteDeadline(w)
 	w.Header().Set("Content-Type", "application/json")
+	if e.retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(e.retryAfter))
+	}
 	w.WriteHeader(e.status)
 	w.Write(body)
 }

@@ -35,6 +35,39 @@ func FuzzServerDecode(f *testing.F) {
 	f.Add(byte(1), []byte(`null`))
 	f.Add(byte(2), []byte(``))
 
+	fuzzEndpoints(f, endpoints)
+}
+
+// FuzzSimulateDecode throws arbitrary bodies at POST /v1/simulate:
+// malformed JSON, hostile cache geometries, unknown prefetchers,
+// oversized budgets. Same contract as FuzzServerDecode — typed 4xx for
+// bad input, never a panic or 5xx.
+func FuzzSimulateDecode(f *testing.F) {
+	endpoints := []string{"/v1/simulate"}
+
+	// Valid requests (mutation starting points)...
+	f.Add(byte(0), []byte(`{"app":"durbin","scale":"test"}`))
+	f.Add(byte(0), []byte(`{"app":"durbin","scale":"test","levels":[]}`))
+	f.Add(byte(0), []byte(`{"app":"sobel","scale":"test","l1_bytes":2048,"levels":[{"sets":16,"ways":2,"line_bytes":32,"prefetcher":"stride","prefetch_entries":16,"prefetch_degree":2,"prefetch_latency":3}]}`))
+	f.Add(byte(0), []byte(`{"app":"durbin","scale":"test","levels":[{"sets":8,"ways":1,"line_bytes":16,"prefetcher":"nextline"}],"max_accesses":100000}`))
+	// ...and hostile ones: broken geometry, unknown prefetcher, level
+	// floods, giant budgets, truncated JSON, trailing garbage.
+	f.Add(byte(0), []byte(`{"app":"durbin","scale":"test","levels":[{"sets":3,"ways":0,"line_bytes":-7}]}`))
+	f.Add(byte(0), []byte(`{"app":"durbin","scale":"test","levels":[{"prefetcher":"markov"}]}`))
+	f.Add(byte(0), []byte(`{"app":"durbin","scale":"test","levels":[{},{},{},{},{},{},{},{}]}`))
+	f.Add(byte(0), []byte(`{"app":"durbin","scale":"test","max_accesses":9223372036854775807}`))
+	f.Add(byte(0), []byte(`{"app":"durbin","levels":[{"sets":1048576,"ways":64,"line_bytes":4096}`))
+	f.Add(byte(0), []byte(`{"levels":[{"sets":4,"ways":1,"line_bytes":32}]}`))
+	f.Add(byte(0), []byte(`{"app":"durbin","scale":"test"}{"app":"durbin"}`))
+	f.Add(byte(0), []byte(`null`))
+
+	fuzzEndpoints(f, endpoints)
+}
+
+// fuzzEndpoints is the shared harness of the decode fuzzers: a tightly
+// guarded server answering fuzzed bodies on a fixed endpoint list.
+func fuzzEndpoints(f *testing.F, endpoints []string) {
+
 	srv := New(Config{
 		CacheEntries: 8,
 		MaxBodyBytes: 1 << 16,

@@ -2,11 +2,12 @@
 // long-lived JSON service over the compile-once analysis workspace of
 // internal/workspace, exposing the whole tool as endpoints.
 //
-//	POST /v1/run    — the four operating points of one program+platform
-//	POST /v1/sweep  — the concurrent L1 trade-off sweep
-//	POST /v1/batch  — an Explorer grid over catalog applications
-//	GET  /v1/apps   — the benchmark application catalog
-//	GET  /healthz   — liveness plus cache and in-flight statistics
+//	POST /v1/run      — the four operating points of one program+platform
+//	POST /v1/sweep    — the concurrent L1 trade-off sweep
+//	POST /v1/batch    — an Explorer grid over catalog applications
+//	POST /v1/simulate — the trace-driven cache+prefetch simulator backend
+//	GET  /v1/apps     — the benchmark application catalog
+//	GET  /healthz     — liveness plus cache, in-flight and per-endpoint statistics
 //
 // The core is a bounded LRU cache of compiled workspaces keyed by the
 // canonical program digest (modelio.ProgramDigest): N concurrent
@@ -99,6 +100,21 @@ type Stats struct {
 	InFlight int64 `json:"in_flight"`
 	// Requests counts requests accepted across all endpoints.
 	Requests int64 `json:"requests_total"`
+	// Endpoints breaks the request and error counts down per endpoint
+	// (errors are responses with a 4xx/5xx status).
+	Endpoints map[string]EndpointStats `json:"endpoints"`
+}
+
+// EndpointStats are the per-endpoint counters of Stats.
+type EndpointStats struct {
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+}
+
+// endpointCounter is the live (atomic) form of EndpointStats.
+type endpointCounter struct {
+	requests atomic.Int64
+	errors   atomic.Int64
 }
 
 // Server is the HTTP serving layer. Create one with New; it is safe
@@ -116,7 +132,10 @@ type Server struct {
 	intake   chan struct{}
 	inFlight atomic.Int64
 	requests atomic.Int64
-	mux      *http.ServeMux
+	// endpoints maps endpoint name to its counters; the map is fixed at
+	// New (only values mutate), so reads need no lock.
+	endpoints map[string]*endpointCounter
+	mux       *http.ServeMux
 
 	// catMu guards catalog, the lazily built (app, scale) -> built
 	// program + canonical digest memo. The catalog is a small fixed
@@ -143,14 +162,16 @@ func New(cfg Config) *Server {
 		intake: make(chan struct{}, 4*cfg.MaxInFlight),
 		mux:    http.NewServeMux(),
 
-		catalog: make(map[string]catalogProgram),
+		endpoints: make(map[string]*endpointCounter),
+		catalog:   make(map[string]catalogProgram),
 	}
-	s.mux.HandleFunc("/healthz", s.count(s.handleHealthz))
-	s.mux.HandleFunc("/v1/apps", s.count(s.handleApps))
-	s.mux.HandleFunc("/v1/run", s.count(s.handleRun))
-	s.mux.HandleFunc("/v1/sweep", s.count(s.handleSweep))
-	s.mux.HandleFunc("/v1/batch", s.count(s.handleBatch))
-	s.mux.HandleFunc("/", s.count(func(w http.ResponseWriter, r *http.Request) {
+	s.mux.HandleFunc("/healthz", s.count("/healthz", s.handleHealthz))
+	s.mux.HandleFunc("/v1/apps", s.count("/v1/apps", s.handleApps))
+	s.mux.HandleFunc("/v1/run", s.count("/v1/run", s.handleRun))
+	s.mux.HandleFunc("/v1/sweep", s.count("/v1/sweep", s.handleSweep))
+	s.mux.HandleFunc("/v1/batch", s.count("/v1/batch", s.handleBatch))
+	s.mux.HandleFunc("/v1/simulate", s.count("/v1/simulate", s.handleSimulate))
+	s.mux.HandleFunc("/", s.count("other", func(w http.ResponseWriter, r *http.Request) {
 		(&apiError{status: http.StatusNotFound, code: "not_found",
 			msg: "unknown endpoint " + r.URL.Path}).write(w)
 	}))
@@ -163,17 +184,58 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Stats snapshots the server counters.
 func (s *Server) Stats() Stats {
-	return Stats{
-		Cache:    s.cache.stats(),
-		InFlight: s.inFlight.Load(),
-		Requests: s.requests.Load(),
+	st := Stats{
+		Cache:     s.cache.stats(),
+		InFlight:  s.inFlight.Load(),
+		Requests:  s.requests.Load(),
+		Endpoints: make(map[string]EndpointStats, len(s.endpoints)),
 	}
+	for name, c := range s.endpoints {
+		st.Endpoints[name] = EndpointStats{Requests: c.requests.Load(), Errors: c.errors.Load()}
+	}
+	return st
 }
 
-func (s *Server) count(h http.HandlerFunc) http.HandlerFunc {
+// statusWriter captures the response status so the endpoint counters
+// can tell successes from errors. Unwrap keeps the
+// http.ResponseController deadline plumbing working through the
+// wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// count wraps a handler with the global and per-endpoint request and
+// error accounting. The counter is created here, at route-registration
+// time, so the endpoints map is immutable once New returns.
+func (s *Server) count(name string, h http.HandlerFunc) http.HandlerFunc {
+	c := s.endpoints[name]
+	if c == nil {
+		c = &endpointCounter{}
+		s.endpoints[name] = c
+	}
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
-		h(w, r)
+		c.requests.Add(1)
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		if sw.status >= 400 {
+			c.errors.Add(1)
+		}
 	}
 }
 
@@ -235,8 +297,11 @@ func (s *Server) acquireIntake(ctx context.Context) (release func(), apiErr *api
 	case s.intake <- struct{}{}:
 		return idempotent(), nil
 	case <-timer.C:
-		return nil, &apiError{status: http.StatusServiceUnavailable, code: "overloaded",
-			msg: "intake full: timed out waiting for an intake slot"}
+		// Deliberate load shedding (as opposed to the request dying):
+		// 429 with a Retry-After hint, so well-behaved clients back off
+		// for a beat instead of re-queueing behind the same full pool.
+		return nil, &apiError{status: http.StatusTooManyRequests, code: "overloaded",
+			msg: "intake full: timed out waiting for an intake slot", retryAfter: 1}
 	case <-ctx.Done():
 		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
 			return nil, &apiError{status: http.StatusServiceUnavailable, code: "overloaded",

@@ -377,8 +377,8 @@ func bigScenarioBody(t testing.TB) string {
 }
 
 // TestIntakeLoadShedding: a saturated intake pool sheds new requests
-// with a typed 503 within the bounded wait instead of hanging them
-// behind slow-body connections forever.
+// with a typed 429 carrying a Retry-After hint within the bounded wait
+// instead of hanging them behind slow-body connections forever.
 func TestIntakeLoadShedding(t *testing.T) {
 	srv := New(Config{MaxInFlight: 1}) // intake pool = 4
 	for i := 0; i < cap(srv.intake); i++ {
@@ -389,8 +389,11 @@ func TestIntakeLoadShedding(t *testing.T) {
 	if release != nil || apiErr == nil {
 		t.Fatal("acquireIntake succeeded on a full pool")
 	}
-	if apiErr.status != http.StatusServiceUnavailable || apiErr.code != "overloaded" {
-		t.Fatalf("got %d/%s, want 503/overloaded", apiErr.status, apiErr.code)
+	if apiErr.status != http.StatusTooManyRequests || apiErr.code != "overloaded" {
+		t.Fatalf("got %d/%s, want 429/overloaded", apiErr.status, apiErr.code)
+	}
+	if apiErr.retryAfter <= 0 {
+		t.Fatalf("shed-load error has no Retry-After hint: %+v", apiErr)
 	}
 	if waited := time.Since(start); waited > 10*intakeWaitMax {
 		t.Fatalf("load shedding took %v, want ~%v", waited, intakeWaitMax)

@@ -24,13 +24,15 @@ import (
 	"mhla/internal/assign"
 	"mhla/internal/model"
 	"mhla/internal/reuse"
+	"mhla/internal/trace"
 )
 
 // Options bound a trace run.
 type Options struct {
 	// MaxAccesses aborts the trace when the program would execute
 	// more dynamic accesses than this (a guard against accidentally
-	// tracing paper-scale workloads). 0 means the default of 5e6.
+	// tracing paper-scale workloads; enforced by the shared iterator
+	// of internal/trace). 0 means trace.DefaultMaxAccesses.
 	MaxAccesses int64
 }
 
@@ -93,19 +95,15 @@ func (b box) intersectVolume(o box) int64 {
 }
 
 // Trace interprets the program under the given assignment and returns
-// the counted events.
+// the counted events. The dynamic access order comes from the shared
+// streaming iterator of internal/trace — the same walk the hardware
+// cache simulator (internal/cachesim) replays — so the two simulators
+// cannot drift on trace semantics.
 func Trace(a *assign.Assignment, opts Options) (*Result, error) {
 	if err := a.Validate(); err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
-	limit := opts.MaxAccesses
-	if limit <= 0 {
-		limit = 5_000_000
-	}
 	p := a.Analysis.Program
-	if total := p.TotalAccesses(); total > limit {
-		return nil, fmt.Errorf("sim: program executes %d accesses, limit is %d", total, limit)
-	}
 
 	res := &Result{
 		LayerAccesses: make([]int64, len(a.Platform.Layers)),
@@ -121,66 +119,68 @@ func Trace(a *assign.Assignment, opts Options) (*Result, error) {
 		}
 	}
 
-	for bi, b := range p.Blocks {
-		// Instantiate the copies of this block.
-		var copies []*copyState
-		chainCopies := make(map[*reuse.Chain][]*copyState)
-		for _, sel := range a.Selections() {
-			if sel.Chain.BlockIndex != bi {
-				continue
-			}
-			sel := sel
-			parent := a.ArrayHome[sel.Chain.Array.Name]
-			if prev := chainCopies[sel.Chain]; len(prev) > 0 {
-				parent = prev[len(prev)-1].layer
-			}
-			cs := &copyState{
-				chain:  sel.Chain,
-				level:  sel.Level,
-				layer:  sel.Layer,
-				parent: parent,
-				prefix: make([]int, sel.Level),
-				key: func(class int) assign.StreamKey {
-					return assign.StreamKey{Chain: sel.Chain.ID, Level: sel.Level, Class: class}
-				},
-			}
-			copies = append(copies, cs)
-			chainCopies[sel.Chain] = append(chainCopies[sel.Chain], cs)
+	// Instantiate the copies of every block up front (Selections order
+	// within a block decides the parent chaining, as before).
+	blockCopies := make([][]*copyState, len(p.Blocks))
+	blockChainCopies := make([]map[*reuse.Chain][]*copyState, len(p.Blocks))
+	for bi := range p.Blocks {
+		blockChainCopies[bi] = make(map[*reuse.Chain][]*copyState)
+	}
+	for _, sel := range a.Selections() {
+		sel := sel
+		bi := sel.Chain.BlockIndex
+		parent := a.ArrayHome[sel.Chain.Array.Name]
+		if prev := blockChainCopies[bi][sel.Chain]; len(prev) > 0 {
+			parent = prev[len(prev)-1].layer
 		}
-
-		env := map[string]int{}
-		var walk func(nodes []model.Node)
-		walk = func(nodes []model.Node) {
-			for _, n := range nodes {
-				switch n := n.(type) {
-				case *model.Loop:
-					for i := 0; i < n.Trip; i++ {
-						env[n.Var] = i
-						walk(n.Body)
-					}
-					delete(env, n.Var)
-				case *model.Access:
-					ch := siteChain[n]
-					for _, cs := range chainCopies[ch] {
-						cs.sync(a, env, res)
-					}
-					layer := a.AccessLayer(ch)
-					words := int64((n.Array.ElemSize + a.Platform.Layers[layer].WordBytes - 1) /
-						a.Platform.Layers[layer].WordBytes)
-					res.LayerAccesses[layer] += words
-					res.Energy += float64(words) * a.Platform.AccessEnergy(layer, n.Kind == model.Write)
-				}
-			}
+		cs := &copyState{
+			chain:  sel.Chain,
+			level:  sel.Level,
+			layer:  sel.Layer,
+			parent: parent,
+			prefix: make([]int, sel.Level),
+			key: func(class int) assign.StreamKey {
+				return assign.StreamKey{Chain: sel.Chain.ID, Level: sel.Level, Class: class}
+			},
 		}
-		walk(b.Body)
+		blockCopies[bi] = append(blockCopies[bi], cs)
+		blockChainCopies[bi][sel.Chain] = append(blockChainCopies[bi][sel.Chain], cs)
+	}
 
-		// Drain write copies at block end (the final write-back,
-		// attributed to the fill class like the analytical model).
-		for _, cs := range copies {
+	// Drain write copies at block end (the final write-back,
+	// attributed to the fill class like the analytical model).
+	drain := func(bi int) {
+		for _, cs := range blockCopies[bi] {
 			if cs.chain.Kind == model.Write && cs.valid {
 				cs.transfer(a, res, 0, cs.box.volume())
 			}
 		}
+	}
+
+	cur := 0
+	err := trace.Walk(p, trace.Options{MaxAccesses: opts.MaxAccesses}, func(ta *trace.Access) bool {
+		for cur < ta.Block {
+			drain(cur)
+			cur++
+		}
+		n := ta.Site
+		ch := siteChain[n]
+		for _, cs := range blockChainCopies[ta.Block][ch] {
+			cs.sync(a, ta.Env, res)
+		}
+		layer := a.AccessLayer(ch)
+		words := int64((n.Array.ElemSize + a.Platform.Layers[layer].WordBytes - 1) /
+			a.Platform.Layers[layer].WordBytes)
+		res.LayerAccesses[layer] += words
+		res.Energy += float64(words) * a.Platform.AccessEnergy(layer, n.Kind == model.Write)
+		return true
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	for cur < len(p.Blocks) {
+		drain(cur)
+		cur++
 	}
 
 	// Price the array home fills/write-backs the same way the

@@ -1,0 +1,131 @@
+// Package trace is the single source of the dynamic access order of a
+// program: a streaming iterator over every array access a program's
+// loop nests execute, in execution order.
+//
+// Two simulators replay this trace — the software-managed-copy
+// simulator of internal/sim and the hardware cache/prefetch simulator
+// of internal/cachesim — and they must never drift on what "the trace"
+// means (which accesses run, in which order, under which iterator
+// valuation). Factoring the walk here makes that a structural
+// guarantee instead of a test obligation: both consume the same Walk.
+//
+// The iterator streams: one Access value is reused across yields, so a
+// full trace allocates O(depth), not O(accesses). The MaxAccesses
+// guard (against accidentally tracing paper-scale workloads) lives
+// here too, so every trace consumer is bounded the same way.
+package trace
+
+import (
+	"errors"
+	"fmt"
+
+	"mhla/internal/model"
+)
+
+// DefaultMaxAccesses is the trace bound applied when Options leaves
+// MaxAccesses at zero.
+const DefaultMaxAccesses = 5_000_000
+
+// ErrLimit is wrapped by Walk's error when the program would execute
+// more dynamic accesses than the configured bound; consumers branch on
+// it with errors.Is to report "too large", not "broken".
+var ErrLimit = errors.New("access limit exceeded")
+
+// Options bound a trace run.
+type Options struct {
+	// MaxAccesses aborts the walk up front when the program would
+	// execute more dynamic accesses than this. 0 means
+	// DefaultMaxAccesses.
+	MaxAccesses int64
+}
+
+// Access is one dynamic array access of the trace. The value passed to
+// the yield callback is reused between calls — consumers must copy
+// whatever they keep (in particular Env, the live iterator valuation).
+type Access struct {
+	// Site is the static access site executing.
+	Site *model.Access
+	// Block is the index of the enclosing top-level block.
+	Block int
+	// Position is the document-order ordinal of the site within the
+	// program (model.AccessRef.Position), stable across runs — the
+	// per-site key of site-indexed predictors.
+	Position int
+	// Env is the live valuation of the enclosing loop iterators.
+	Env map[string]int
+}
+
+// Coord evaluates the site's index expression for dimension d under
+// the current iterator valuation.
+func (a *Access) Coord(d int) int { return a.Site.Index[d].Eval(a.Env) }
+
+// Linear returns the row-major linear element index of the access
+// within its array (outermost dimension first, matching
+// model.Array.Dims).
+func (a *Access) Linear() int64 {
+	var idx int64
+	for d, dim := range a.Site.Array.Dims {
+		idx = idx*int64(dim) + int64(a.Coord(d))
+	}
+	return idx
+}
+
+// Walk replays the program's dynamic access trace in execution order:
+// blocks in sequence, loops iterated 0..Trip-1, body nodes in
+// document order. It calls yield once per dynamic access; returning
+// false stops the walk early (Walk then returns nil — an early stop is
+// the consumer's choice, not a failure). The walk is bounded up front:
+// a program whose total dynamic access count exceeds the configured
+// limit returns an error wrapping ErrLimit before the first yield.
+func Walk(p *model.Program, opts Options, yield func(*Access) bool) error {
+	if p == nil {
+		return fmt.Errorf("trace: nil program")
+	}
+	limit := opts.MaxAccesses
+	if limit <= 0 {
+		limit = DefaultMaxAccesses
+	}
+	if total := p.TotalAccesses(); total > limit {
+		return fmt.Errorf("trace: program executes %d accesses, limit is %d: %w", total, limit, ErrLimit)
+	}
+
+	// Document-order site ordinals, shared with model.AccessRef.
+	pos := make(map[*model.Access]int)
+	for _, ref := range p.Accesses() {
+		pos[ref.Access] = ref.Position
+	}
+
+	acc := &Access{Env: make(map[string]int)}
+	stopped := false
+	var walk func(nodes []model.Node)
+	walk = func(nodes []model.Node) {
+		for _, n := range nodes {
+			switch n := n.(type) {
+			case *model.Loop:
+				for i := 0; i < n.Trip; i++ {
+					acc.Env[n.Var] = i
+					walk(n.Body)
+					if stopped {
+						return
+					}
+				}
+				delete(acc.Env, n.Var)
+			case *model.Access:
+				acc.Site = n
+				acc.Position = pos[n]
+				if !yield(acc) {
+					stopped = true
+					return
+				}
+			}
+		}
+	}
+	for bi, b := range p.Blocks {
+		acc.Block = bi
+		walk(b.Body)
+		if stopped {
+			break
+		}
+	}
+	return nil
+}

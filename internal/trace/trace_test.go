@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"errors"
+	"testing"
+
+	"mhla/internal/model"
+)
+
+// nest builds the two-block test program:
+//
+//	block 0: for i in 0..2 { for j in 0..1 { read A[i][j]; write B[j] } }
+//	block 1: for k in 0..3 { read C[k] }
+func nest(t *testing.T) *model.Program {
+	t.Helper()
+	a := &model.Array{Name: "A", Dims: []int{3, 2}, ElemSize: 4, Input: true}
+	b := &model.Array{Name: "B", Dims: []int{2}, ElemSize: 2, Output: true}
+	c := &model.Array{Name: "C", Dims: []int{4}, ElemSize: 1, Input: true, Output: true}
+	p := &model.Program{
+		Name:   "trace-nest",
+		Arrays: []*model.Array{a, b, c},
+		Blocks: []*model.Block{
+			{Name: "b0", Body: []model.Node{
+				&model.Loop{Var: "i", Trip: 3, Body: []model.Node{
+					&model.Loop{Var: "j", Trip: 2, Body: []model.Node{
+						&model.Access{Array: a, Kind: model.Read, Index: []model.Expr{model.Idx("i"), model.Idx("j")}},
+						&model.Access{Array: b, Kind: model.Write, Index: []model.Expr{model.Idx("j")}},
+					}},
+				}},
+			}},
+			{Name: "b1", Body: []model.Node{
+				&model.Loop{Var: "k", Trip: 4, Body: []model.Node{
+					&model.Access{Array: c, Kind: model.Read, Index: []model.Expr{model.Idx("k")}},
+				}},
+			}},
+		},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestWalkOrder: the walk yields every dynamic access in execution
+// order with the right site, block, position and evaluated coordinates.
+func TestWalkOrder(t *testing.T) {
+	p := nest(t)
+	type event struct {
+		array  string
+		block  int
+		pos    int
+		linear int64
+	}
+	var got []event
+	err := Walk(p, Options{}, func(a *Access) bool {
+		got = append(got, event{a.Site.Array.Name, a.Block, a.Position, a.Linear()})
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []event
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 2; j++ {
+			want = append(want,
+				event{"A", 0, 0, int64(i*2 + j)},
+				event{"B", 0, 1, int64(j)})
+		}
+	}
+	for k := 0; k < 4; k++ {
+		want = append(want, event{"C", 1, 2, int64(k)})
+	}
+	if len(got) != len(want) {
+		t.Fatalf("walk yielded %d accesses, want %d", len(got), len(want))
+	}
+	if int64(len(got)) != p.TotalAccesses() {
+		t.Fatalf("walk yielded %d accesses, TotalAccesses says %d", len(got), p.TotalAccesses())
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("access %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestWalkEarlyStop: returning false stops the walk without an error.
+func TestWalkEarlyStop(t *testing.T) {
+	p := nest(t)
+	n := 0
+	err := Walk(p, Options{}, func(a *Access) bool {
+		n++
+		return n < 5
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("walk yielded %d accesses after early stop, want 5", n)
+	}
+}
+
+// TestWalkLimit: the MaxAccesses guard fires up front, wraps ErrLimit
+// and yields nothing.
+func TestWalkLimit(t *testing.T) {
+	p := nest(t)
+	n := 0
+	err := Walk(p, Options{MaxAccesses: 3}, func(a *Access) bool {
+		n++
+		return true
+	})
+	if err == nil {
+		t.Fatal("walk over the access limit succeeded")
+	}
+	if !errors.Is(err, ErrLimit) {
+		t.Fatalf("limit error does not wrap ErrLimit: %v", err)
+	}
+	if n != 0 {
+		t.Fatalf("limited walk yielded %d accesses before erroring", n)
+	}
+}
+
+// TestWalkNilProgram: a nil program is an error, not a panic.
+func TestWalkNilProgram(t *testing.T) {
+	if err := Walk(nil, Options{}, func(a *Access) bool { return true }); err == nil {
+		t.Fatal("nil program walked")
+	}
+}
