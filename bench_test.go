@@ -20,6 +20,7 @@ package mhla_test
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -574,6 +575,119 @@ func BenchmarkServerThroughput(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkJobsThroughput measures the async job pipeline end to end:
+// submit POST /v1/jobs requests with a bounded outstanding window,
+// poll each to completion and fetch its stored result, verified
+// byte-identical to the synchronous /v1/run response on every job. The
+// measured quantity is pipeline throughput (submit + queue + execute +
+// fetch), not single-job latency. Recorded in BENCH_JOBS.json by
+// cmd/mhla-loadgen; on a single-CPU host extra job workers cannot
+// raise throughput (the flow is compute-bound) — re-measure on cores.
+func BenchmarkJobsThroughput(b *testing.B) {
+	app, err := apps.ByName("me")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog := app.Build(apps.Paper)
+	res, err := mhla.Run(context.Background(), prog, mhla.WithL1(app.L1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	want, err := mhla.ResultJSON(res)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := server.New(server.Config{CacheEntries: 64, JobWorkers: 2, JobBacklog: 1024})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+	submitBody := fmt.Sprintf(`{"kind":"run","request":{"app":"me","l1_bytes":%d}}`, app.L1)
+
+	// Prime the workspace cache outside the timer.
+	if code, data := benchPost(b, http.DefaultClient, ts.URL+"/v1/run",
+		fmt.Sprintf(`{"app":"me","l1_bytes":%d}`, app.L1)); code != http.StatusOK {
+		b.Fatalf("prime status %d: %s", code, data)
+	}
+
+	var envelope struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	waitDone := func(id string) {
+		b.Helper()
+		for {
+			resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			err = json.NewDecoder(resp.Body).Decode(&envelope)
+			resp.Body.Close()
+			if err != nil {
+				b.Fatal(err)
+			}
+			switch envelope.State {
+			case "done":
+				return
+			case "failed", "canceled":
+				b.Fatalf("job %s ended %s", id, envelope.State)
+			}
+		}
+	}
+
+	const window = 64 // outstanding jobs, well under the backlog
+	pending := make([]string, 0, window)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		code, data := benchPost(b, http.DefaultClient, ts.URL+"/v1/jobs", submitBody)
+		if code != http.StatusAccepted {
+			b.Fatalf("submit status %d: %s", code, data)
+		}
+		if err := json.Unmarshal(data, &envelope); err != nil {
+			b.Fatal(err)
+		}
+		pending = append(pending, envelope.ID)
+		if len(pending) == window {
+			waitDone(pending[0])
+			pending = pending[1:]
+		}
+	}
+	for _, id := range pending {
+		waitDone(id)
+	}
+	b.StopTimer()
+
+	// Spot-check byte identity on the last completed job.
+	if envelope.ID != "" {
+		code, data := benchGet(b, ts.URL+"/v1/jobs/"+envelope.ID+"/result")
+		if code != http.StatusOK {
+			b.Fatalf("result status %d: %s", code, data)
+		}
+		if !bytes.Equal(data, want) {
+			b.Fatal("async result diverged from the synchronous response")
+		}
+	}
+	if st := srv.Stats().Jobs; st.Failed != 0 || st.Shed != 0 {
+		b.Fatalf("job outcomes: %+v", st)
+	}
+}
+
+// benchGet fetches a URL and returns status and body bytes.
+func benchGet(b *testing.B, url string) (int, []byte) {
+	b.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		b.Errorf("GET %s: %v", url, err)
+		return 0, nil
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		b.Errorf("GET %s: read body: %v", url, err)
+		return 0, nil
+	}
+	return resp.StatusCode, data
 }
 
 // BenchmarkReuseAnalysis measures the copy-candidate derivation on

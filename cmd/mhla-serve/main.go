@@ -2,19 +2,33 @@
 // service over the compiled-workspace cache: POST /v1/run evaluates
 // the four operating points of a program+platform, POST /v1/sweep
 // runs the concurrent L1 trade-off sweep, POST /v1/batch fans an
-// Explorer grid over catalog applications, GET /v1/apps lists the
-// catalog and GET /healthz reports liveness plus cache statistics.
-// Compute responses are byte-identical to direct pkg/mhla facade
-// calls — the service is a transport, not a second implementation.
+// Explorer grid over catalog applications, POST /v1/simulate replays
+// the trace-driven cache simulator, GET /v1/apps lists the catalog
+// and GET /healthz reports liveness plus cache, in-flight and job
+// statistics. Compute responses are byte-identical to direct pkg/mhla
+// facade calls — the service is a transport, not a second
+// implementation.
+//
+// The POST /v1/jobs family runs the same compute requests
+// asynchronously: submit {"kind":"run","request":{...}} and get a job
+// ID back immediately; a bounded worker pool drains a tenant-fair
+// priority queue (tenants bucket by X-API-Key, or remote host without
+// one). GET /v1/jobs/{id} polls the envelope, GET /v1/jobs/{id}/result
+// fetches the stored bytes (identical to the synchronous response),
+// GET /v1/jobs/{id}/events streams NDJSON envelopes and
+// DELETE /v1/jobs/{id} cancels.
 //
 // Usage:
 //
 //	mhla-serve -addr :8080
 //	mhla-serve -addr 127.0.0.1:8080 -cache 128 -inflight 16 -timeout 30s
+//	mhla-serve -jobworkers 4 -backlog 512 -jobttl 30m
 //
 //	curl -s localhost:8080/healthz
 //	curl -s -X POST localhost:8080/v1/run -d '{"app":"me","l1_bytes":2048}'
 //	curl -s -X POST localhost:8080/v1/sweep -d '{"app":"qsdpcm","sweep_workers":4}'
+//	curl -s -X POST localhost:8080/v1/jobs -d '{"kind":"run","request":{"app":"me"}}'
+//	curl -s localhost:8080/v1/jobs/j000001/events
 //
 // SIGINT/SIGTERM drain in-flight requests and shut down gracefully.
 package main
@@ -37,12 +51,15 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:8080", "listen address")
-		cache    = flag.Int("cache", 64, "compiled-workspace cache entries")
-		inflight = flag.Int("inflight", 0, "max in-flight compute requests (0 = 4x GOMAXPROCS)")
-		timeout  = flag.Duration("timeout", 0, "per-request compute timeout (0 = none)")
-		drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown drain budget")
-		states   = flag.Int("maxstates", 0, "cap on a request's exact-search state budget (0 = 10M)")
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
+		cache      = flag.Int("cache", 64, "compiled-workspace cache entries")
+		inflight   = flag.Int("inflight", 0, "max in-flight compute requests (0 = 4x GOMAXPROCS)")
+		timeout    = flag.Duration("timeout", 0, "per-request compute timeout (0 = none)")
+		drain      = flag.Duration("drain", 30*time.Second, "graceful shutdown drain budget")
+		states     = flag.Int("maxstates", 0, "cap on a request's exact-search state budget (0 = 10M)")
+		jobWorkers = flag.Int("jobworkers", 0, "async job workers (0 = 2)")
+		backlog    = flag.Int("backlog", 0, "async job backlog before shedding with 429 (0 = 256)")
+		jobTTL     = flag.Duration("jobttl", 0, "how long finished job results stay fetchable (0 = 15m)")
 	)
 	flag.Parse()
 
@@ -51,6 +68,9 @@ func main() {
 		MaxInFlight:    *inflight,
 		RequestTimeout: *timeout,
 		MaxStates:      *states,
+		JobWorkers:     *jobWorkers,
+		JobBacklog:     *backlog,
+		JobResultTTL:   *jobTTL,
 	})
 	// Every request context derives from baseCtx, so cancelling it
 	// aborts in-flight engine runs (the flows poll their contexts) —
@@ -97,9 +117,12 @@ func main() {
 		if err != nil {
 			fatal(fmt.Errorf("shutdown: %w", err))
 		}
+		// The HTTP side is drained; now cancel the queued and running
+		// jobs and wait for the workers to exit.
+		srv.Close()
 		stats := srv.Stats()
-		log.Printf("mhla-serve: drained; served %d requests, cache %d/%d hits/misses",
-			stats.Requests, stats.Cache.Hits, stats.Cache.Misses)
+		log.Printf("mhla-serve: drained; served %d requests (%d async jobs), cache %d/%d hits/misses",
+			stats.Requests, stats.Jobs.Submitted, stats.Cache.Hits, stats.Cache.Misses)
 	case err := <-errc:
 		if !errors.Is(err, http.ErrServerClosed) {
 			fatal(err)

@@ -1,0 +1,464 @@
+// Package jobs is the async execution layer of the MHLA service: a
+// bounded worker pool fed by a bounded priority queue with per-tenant
+// round-robin fairness.
+//
+// A submitted Task enters the queue and moves through the state
+// machine
+//
+//	queued → running → done | failed | canceled
+//
+// Higher-priority jobs pop first; within a priority band tenants take
+// turns (one job per tenant per round, FIFO within a tenant), so a
+// tenant flooding the backlog cannot starve another tenant's
+// occasional job. The backlog is bounded: Submit returns
+// ErrBacklogFull when it is at capacity, and the caller sheds load
+// (the HTTP layer answers 429 with Retry-After). Jobs can be canceled
+// at any point before completion — a queued job leaves the queue
+// immediately, a running job has its context canceled and is marked
+// canceled without waiting for the task to unwind. Watchers observe a
+// job through a coalescing notification channel (Watch) plus
+// point-in-time snapshots (Get). Terminal jobs are retained for
+// ResultTTL and then purged.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// State is a job's position in the lifecycle state machine.
+type State string
+
+const (
+	Queued   State = "queued"
+	Running  State = "running"
+	Done     State = "done"
+	Failed   State = "failed"
+	Canceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s == Done || s == Failed || s == Canceled }
+
+// Task is one unit of submitted work. Run executes on a worker
+// goroutine; publish streams intermediate progress values to watchers
+// (cheap, coalescing — the latest value wins). Run must honor ctx:
+// cancellation means the job was canceled (or the manager is closing)
+// and the task should unwind promptly. A non-nil error marks the job
+// failed; a panic is recovered and marks it failed too. Result data is
+// the task's own business — implementations keep it in their own
+// fields, and observers recover the Task from Snapshot.Task.
+type Task interface {
+	Run(ctx context.Context, publish func(progress any)) error
+}
+
+// ErrBacklogFull is returned by Submit when the queue is at capacity;
+// callers should shed load and have clients retry later.
+var ErrBacklogFull = errors.New("jobs: backlog full")
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("jobs: manager closed")
+
+// Config configures a Manager. The zero value is usable: 2 workers, a
+// 256-job backlog, 15-minute result retention.
+type Config struct {
+	// Workers is the number of jobs executing concurrently (default 2).
+	Workers int
+	// Backlog bounds the queued (not yet running) jobs (default 256).
+	Backlog int
+	// ResultTTL bounds how long a terminal job (and thus its result)
+	// stays observable (default 15 minutes).
+	ResultTTL time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.Backlog <= 0 {
+		c.Backlog = 256
+	}
+	if c.ResultTTL <= 0 {
+		c.ResultTTL = 15 * time.Minute
+	}
+	return c
+}
+
+// Stats is a point-in-time snapshot of the manager counters.
+type Stats struct {
+	// Submitted counts jobs accepted into the queue.
+	Submitted int64 `json:"submitted"`
+	// Done, Failed and Canceled count terminal outcomes.
+	Done     int64 `json:"done"`
+	Failed   int64 `json:"failed"`
+	Canceled int64 `json:"canceled"`
+	// Shed counts submissions rejected by the backlog bound.
+	Shed int64 `json:"shed"`
+	// Queued and Running are gauges of the live population.
+	Queued  int `json:"queued"`
+	Running int `json:"running"`
+}
+
+// Snapshot is a point-in-time view of one job.
+type Snapshot struct {
+	ID       string
+	Tenant   string
+	Priority int
+	State    State
+	// Position is the number of queued jobs that pop before this one
+	// (0 = next); -1 once the job has left the queue.
+	Position int
+	// Progress is the latest value the task published (nil until the
+	// first publish).
+	Progress any
+	// Err is the task's failure (Failed jobs only).
+	Err error
+	// Task is the submitted task, so callers can recover results the
+	// task stored in its own fields.
+	Task     Task
+	Created  time.Time
+	Started  time.Time
+	Finished time.Time
+}
+
+// job is the manager-internal record.
+type job struct {
+	id       string
+	tenant   string
+	priority int
+	task     Task
+	state    State
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	progress any
+	err      error
+	cancel   context.CancelFunc
+	watchers []chan struct{}
+}
+
+// Manager owns the queue, the worker pool and the job table. Create
+// one with New; it is safe for concurrent use.
+type Manager struct {
+	cfg Config
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   *fairQueue
+	byID    map[string]*job
+	seq     int64
+	closed  bool
+	running int
+
+	submitted, done, failed, canceled, shed int64
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+	janitorC   chan struct{}
+}
+
+// New builds a Manager and starts its workers.
+func New(cfg Config) *Manager {
+	m := &Manager{
+		cfg:      cfg.withDefaults(),
+		queue:    newFairQueue(),
+		byID:     make(map[string]*job),
+		janitorC: make(chan struct{}),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	m.baseCtx, m.baseCancel = context.WithCancel(context.Background())
+	for i := 0; i < m.cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	m.wg.Add(1)
+	go m.janitor()
+	return m
+}
+
+// Submit queues a task. It returns the job's initial snapshot, or
+// ErrBacklogFull / ErrClosed.
+func (m *Manager) Submit(tenant string, priority int, task Task) (Snapshot, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return Snapshot{}, ErrClosed
+	}
+	if m.queue.len() >= m.cfg.Backlog {
+		m.shed++
+		return Snapshot{}, ErrBacklogFull
+	}
+	m.seq++
+	j := &job{
+		id:       fmt.Sprintf("j%06d", m.seq),
+		tenant:   tenant,
+		priority: priority,
+		task:     task,
+		state:    Queued,
+		created:  time.Now(),
+	}
+	m.byID[j.id] = j
+	m.queue.push(j)
+	m.submitted++
+	m.cond.Signal()
+	return m.snapshotLocked(j), nil
+}
+
+// Get returns the job's current snapshot; ok is false for unknown (or
+// purged) IDs.
+func (m *Manager) Get(id string) (Snapshot, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.byID[id]
+	if !ok {
+		return Snapshot{}, false
+	}
+	return m.snapshotLocked(j), true
+}
+
+// Cancel cancels a job: a queued job leaves the queue immediately, a
+// running job has its context canceled and is marked canceled without
+// waiting for the task to unwind. Terminal jobs are left untouched (a
+// repeat cancel is a no-op). ok is false for unknown IDs.
+func (m *Manager) Cancel(id string) (Snapshot, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.byID[id]
+	if !ok {
+		return Snapshot{}, false
+	}
+	switch j.state {
+	case Queued:
+		m.queue.remove(j)
+		m.finishLocked(j, Canceled, nil)
+		m.notifyQueuedLocked()
+	case Running:
+		// The worker observes the terminal state when the task returns
+		// and leaves it alone; the job is canceled from the caller's
+		// point of view right now.
+		m.finishLocked(j, Canceled, nil)
+		if j.cancel != nil {
+			j.cancel()
+		}
+		m.running--
+	}
+	return m.snapshotLocked(j), true
+}
+
+// Watch subscribes to a job's lifecycle: the returned channel receives
+// a (coalesced) signal whenever the job's observable snapshot may have
+// changed — state transitions, progress publishes, queue movement.
+// Callers re-read Get on each signal. stop unsubscribes; ok is false
+// for unknown IDs.
+func (m *Manager) Watch(id string) (notify <-chan struct{}, stop func(), ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, exists := m.byID[id]
+	if !exists {
+		return nil, nil, false
+	}
+	ch := make(chan struct{}, 1)
+	j.watchers = append(j.watchers, ch)
+	return ch, func() {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		for i, w := range j.watchers {
+			if w == ch {
+				j.watchers = append(j.watchers[:i], j.watchers[i+1:]...)
+				break
+			}
+		}
+	}, true
+}
+
+// Stats snapshots the manager counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{
+		Submitted: m.submitted,
+		Done:      m.done,
+		Failed:    m.failed,
+		Canceled:  m.canceled,
+		Shed:      m.shed,
+		Queued:    m.queue.len(),
+		Running:   m.running,
+	}
+}
+
+// Close stops the manager: queued jobs are canceled, running jobs have
+// their contexts canceled, and Close blocks until the workers exit.
+// Submit fails with ErrClosed afterwards.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return
+	}
+	m.closed = true
+	for j := m.queue.pop(); j != nil; j = m.queue.pop() {
+		m.finishLocked(j, Canceled, nil)
+	}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	m.baseCancel()
+	close(m.janitorC)
+	m.wg.Wait()
+}
+
+// worker is one pool goroutine: pop, run, record, repeat.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		m.mu.Lock()
+		for !m.closed && m.queue.len() == 0 {
+			m.cond.Wait()
+		}
+		if m.closed {
+			m.mu.Unlock()
+			return
+		}
+		j := m.queue.pop()
+		ctx, cancel := context.WithCancel(m.baseCtx)
+		j.cancel = cancel
+		j.state = Running
+		j.started = time.Now()
+		m.running++
+		m.notifyLocked(j)
+		// Every job behind the popped one moved up a slot.
+		m.notifyQueuedLocked()
+		m.mu.Unlock()
+
+		err := runTask(ctx, j.task, func(v any) { m.publish(j, v) })
+		cancel()
+
+		m.mu.Lock()
+		if !j.state.Terminal() {
+			// Cancel (or Close) may have already finished the job; its
+			// late return changes nothing then.
+			m.running--
+			if err == nil {
+				m.finishLocked(j, Done, nil)
+			} else if errors.Is(err, context.Canceled) {
+				// Canceled under the task without a Cancel call — the
+				// manager shutting down mid-run.
+				m.finishLocked(j, Canceled, nil)
+			} else {
+				m.finishLocked(j, Failed, err)
+			}
+		}
+		m.mu.Unlock()
+	}
+}
+
+// runTask executes the task, converting a panic into a failure so one
+// bad job cannot take a worker (or the process) down.
+func runTask(ctx context.Context, t Task, publish func(any)) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("jobs: task panicked: %v", rec)
+		}
+	}()
+	return t.Run(ctx, publish)
+}
+
+// publish records the latest progress value and pokes the watchers.
+func (m *Manager) publish(j *job, v any) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j.progress = v
+	m.notifyLocked(j)
+}
+
+// finishLocked moves a job to a terminal state and bumps the matching
+// counter. Callers hold m.mu and guarantee the job is not yet
+// terminal.
+func (m *Manager) finishLocked(j *job, st State, err error) {
+	j.state = st
+	j.err = err
+	j.finished = time.Now()
+	switch st {
+	case Done:
+		m.done++
+	case Failed:
+		m.failed++
+	case Canceled:
+		m.canceled++
+	}
+	m.notifyLocked(j)
+}
+
+// notifyLocked pokes a job's watchers (non-blocking: each channel
+// carries at most one pending signal, so bursts coalesce).
+func (m *Manager) notifyLocked(j *job) {
+	for _, ch := range j.watchers {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// notifyQueuedLocked pokes the watchers of every still-queued job —
+// their positions shifted.
+func (m *Manager) notifyQueuedLocked() {
+	for _, j := range m.byID {
+		if j.state == Queued && len(j.watchers) > 0 {
+			m.notifyLocked(j)
+		}
+	}
+}
+
+func (m *Manager) snapshotLocked(j *job) Snapshot {
+	pos := -1
+	if j.state == Queued {
+		pos = m.queue.position(j)
+	}
+	return Snapshot{
+		ID:       j.id,
+		Tenant:   j.tenant,
+		Priority: j.priority,
+		State:    j.state,
+		Position: pos,
+		Progress: j.progress,
+		Err:      j.err,
+		Task:     j.task,
+		Created:  j.created,
+		Started:  j.started,
+		Finished: j.finished,
+	}
+}
+
+// janitor purges terminal jobs past their ResultTTL.
+func (m *Manager) janitor() {
+	defer m.wg.Done()
+	interval := m.cfg.ResultTTL / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	if interval > time.Minute {
+		interval = time.Minute
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.janitorC:
+			return
+		case <-ticker.C:
+			cutoff := time.Now().Add(-m.cfg.ResultTTL)
+			m.mu.Lock()
+			for id, j := range m.byID {
+				if j.state.Terminal() && j.finished.Before(cutoff) {
+					delete(m.byID, id)
+				}
+			}
+			m.mu.Unlock()
+		}
+	}
+}

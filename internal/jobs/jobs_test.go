@@ -1,0 +1,410 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// taskFunc adapts a function to the Task interface.
+type taskFunc func(ctx context.Context, publish func(any)) error
+
+func (f taskFunc) Run(ctx context.Context, publish func(any)) error { return f(ctx, publish) }
+
+// blockerTask returns a task that signals started and then blocks
+// until released or canceled.
+func blockerTask(started chan<- string, release <-chan struct{}, id string) Task {
+	return taskFunc(func(ctx context.Context, publish func(any)) error {
+		if started != nil {
+			started <- id
+		}
+		select {
+		case <-release:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	})
+}
+
+// recorderTask appends its label to order (under mu) and returns nil.
+func recorderTask(mu *sync.Mutex, order *[]string, label string) Task {
+	return taskFunc(func(ctx context.Context, publish func(any)) error {
+		mu.Lock()
+		*order = append(*order, label)
+		mu.Unlock()
+		return nil
+	})
+}
+
+// newStalled builds a 1-worker manager whose single worker is parked
+// inside a blocker job, so subsequently submitted jobs stay queued
+// until release is closed.
+func newStalled(t *testing.T, cfg Config) (m *Manager, release chan struct{}) {
+	t.Helper()
+	cfg.Workers = 1
+	m = New(cfg)
+	t.Cleanup(m.Close)
+	release = make(chan struct{})
+	started := make(chan string, 1)
+	if _, err := m.Submit("blocker", 9, blockerTask(started, release, "blocker")); err != nil {
+		t.Fatalf("submit blocker: %v", err)
+	}
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocker job never started")
+	}
+	return m, release
+}
+
+// waitState polls until the job reaches the state or the deadline.
+func waitState(t *testing.T, m *Manager, id string, want State) Snapshot {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		snap, ok := m.Get(id)
+		if !ok {
+			t.Fatalf("job %s disappeared while waiting for %s", id, want)
+		}
+		if snap.State == want {
+			return snap
+		}
+		if snap.State.Terminal() {
+			t.Fatalf("job %s reached terminal state %s, want %s", id, snap.State, want)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s, want %s", id, snap.State, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// drain waits until every submitted job is terminal.
+func drain(t *testing.T, m *Manager, ids ...string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for _, id := range ids {
+		for {
+			snap, ok := m.Get(id)
+			if !ok || snap.State.Terminal() {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s never finished (state %s)", id, snap.State)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// TestPriorityOrdering: with the worker stalled, queued jobs pop
+// highest priority first.
+func TestPriorityOrdering(t *testing.T) {
+	m, release := newStalled(t, Config{})
+	var mu sync.Mutex
+	var order []string
+	var ids []string
+	for _, sub := range []struct {
+		label string
+		prio  int
+	}{{"low", 1}, {"high", 9}, {"mid", 5}} {
+		snap, err := m.Submit("t", sub.prio, recorderTask(&mu, &order, sub.label))
+		if err != nil {
+			t.Fatalf("submit %s: %v", sub.label, err)
+		}
+		ids = append(ids, snap.ID)
+	}
+	// Queue positions reflect the priority order before anything runs.
+	wantPos := map[string]int{ids[1]: 0, ids[2]: 1, ids[0]: 2}
+	for id, want := range wantPos {
+		snap, _ := m.Get(id)
+		if snap.Position != want {
+			t.Errorf("job %s position %d, want %d", id, snap.Position, want)
+		}
+	}
+	close(release)
+	drain(t, m, ids...)
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{"high", "mid", "low"}
+	for i, label := range want {
+		if order[i] != label {
+			t.Fatalf("execution order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestTenantFairness: a tenant flooding the queue cannot starve
+// another tenant — same-priority jobs interleave round-robin across
+// tenants.
+func TestTenantFairness(t *testing.T) {
+	m, release := newStalled(t, Config{})
+	var mu sync.Mutex
+	var order []string
+	var ids []string
+	// Tenant A floods 6 jobs, then tenant B submits 2.
+	for i := 0; i < 6; i++ {
+		snap, err := m.Submit("A", 5, recorderTask(&mu, &order, "A"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, snap.ID)
+	}
+	var bIDs []string
+	for i := 0; i < 2; i++ {
+		snap, err := m.Submit("B", 5, recorderTask(&mu, &order, "B"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, snap.ID)
+		bIDs = append(bIDs, snap.ID)
+	}
+	// B's first job pops second (after one A turn), not seventh.
+	if snap, _ := m.Get(bIDs[0]); snap.Position != 1 {
+		t.Errorf("B's first job at position %d, want 1", snap.Position)
+	}
+	if snap, _ := m.Get(bIDs[1]); snap.Position != 3 {
+		t.Errorf("B's second job at position %d, want 3", snap.Position)
+	}
+	close(release)
+	drain(t, m, ids...)
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{"A", "B", "A", "B", "A", "A", "A", "A"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("execution order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestBacklogShed: a full backlog sheds further submissions with
+// ErrBacklogFull and counts them.
+func TestBacklogShed(t *testing.T) {
+	m, release := newStalled(t, Config{Backlog: 2})
+	defer close(release)
+	var ids []string
+	for i := 0; i < 2; i++ {
+		snap, err := m.Submit("t", 5, taskFunc(func(context.Context, func(any)) error { return nil }))
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		ids = append(ids, snap.ID)
+	}
+	if _, err := m.Submit("t", 5, taskFunc(func(context.Context, func(any)) error { return nil })); !errors.Is(err, ErrBacklogFull) {
+		t.Fatalf("submit into full backlog: err = %v, want ErrBacklogFull", err)
+	}
+	st := m.Stats()
+	if st.Shed != 1 || st.Queued != 2 {
+		t.Fatalf("stats after shed: %+v, want Shed 1, Queued 2", st)
+	}
+	// Canceling a queued job frees a slot.
+	if _, ok := m.Cancel(ids[0]); !ok {
+		t.Fatal("cancel queued job failed")
+	}
+	if _, err := m.Submit("t", 5, taskFunc(func(context.Context, func(any)) error { return nil })); err != nil {
+		t.Fatalf("submit after cancel freed a slot: %v", err)
+	}
+}
+
+// TestCancelQueued: a canceled queued job never runs.
+func TestCancelQueued(t *testing.T) {
+	m, release := newStalled(t, Config{})
+	defer close(release)
+	ran := make(chan struct{}, 1)
+	snap, err := m.Submit("t", 5, taskFunc(func(context.Context, func(any)) error {
+		ran <- struct{}{}
+		return nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := m.Cancel(snap.ID)
+	if !ok || got.State != Canceled {
+		t.Fatalf("cancel queued: ok=%v state=%s, want canceled", ok, got.State)
+	}
+	if got.Position != -1 {
+		t.Fatalf("canceled job still has queue position %d", got.Position)
+	}
+	select {
+	case <-ran:
+		t.Fatal("canceled queued job ran anyway")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if st := m.Stats(); st.Canceled != 1 {
+		t.Fatalf("stats.Canceled = %d, want 1", st.Canceled)
+	}
+}
+
+// TestCancelRunning: canceling a running job cancels its context and
+// marks it canceled promptly, without waiting for the task to unwind.
+func TestCancelRunning(t *testing.T) {
+	m := New(Config{Workers: 1})
+	t.Cleanup(m.Close)
+	started := make(chan string, 1)
+	unwound := make(chan struct{})
+	snap, err := m.Submit("t", 5, taskFunc(func(ctx context.Context, publish func(any)) error {
+		started <- "x"
+		<-ctx.Done()
+		// Simulate a slow unwind; the job must read as canceled before
+		// this returns.
+		time.Sleep(100 * time.Millisecond)
+		close(unwound)
+		return ctx.Err()
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	got, ok := m.Cancel(snap.ID)
+	if !ok || got.State != Canceled {
+		t.Fatalf("cancel running: ok=%v state=%s, want canceled", ok, got.State)
+	}
+	select {
+	case <-unwound:
+		t.Fatal("job read as canceled only after the task unwound")
+	default:
+	}
+	<-unwound
+	// The late task return must not overwrite the terminal state or
+	// double-count.
+	time.Sleep(10 * time.Millisecond)
+	if got, _ := m.Get(snap.ID); got.State != Canceled {
+		t.Fatalf("state after unwind %s, want canceled", got.State)
+	}
+	if st := m.Stats(); st.Canceled != 1 || st.Running != 0 {
+		t.Fatalf("stats after cancel: %+v, want Canceled 1, Running 0", st)
+	}
+	// Repeat cancel is a no-op.
+	if got, ok := m.Cancel(snap.ID); !ok || got.State != Canceled {
+		t.Fatalf("repeat cancel: ok=%v state=%s", ok, got.State)
+	}
+	if st := m.Stats(); st.Canceled != 1 {
+		t.Fatalf("repeat cancel double-counted: %+v", st)
+	}
+}
+
+// TestFailureAndPanic: a task error marks the job failed; a panicking
+// task is recovered and marks it failed too.
+func TestFailureAndPanic(t *testing.T) {
+	m := New(Config{Workers: 1})
+	t.Cleanup(m.Close)
+	boom := errors.New("boom")
+	snap, err := m.Submit("t", 5, taskFunc(func(context.Context, func(any)) error { return boom }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitState(t, m, snap.ID, Failed)
+	if !errors.Is(got.Err, boom) {
+		t.Fatalf("failed job err = %v, want boom", got.Err)
+	}
+	snap, err = m.Submit("t", 5, taskFunc(func(context.Context, func(any)) error { panic("kaboom") }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = waitState(t, m, snap.ID, Failed)
+	if got.Err == nil {
+		t.Fatal("panicking task left no error")
+	}
+	if st := m.Stats(); st.Failed != 2 {
+		t.Fatalf("stats.Failed = %d, want 2", st.Failed)
+	}
+}
+
+// TestProgressAndWatch: published progress values reach Get, and
+// watchers are poked on progress and state changes.
+func TestProgressAndWatch(t *testing.T) {
+	m := New(Config{Workers: 1})
+	t.Cleanup(m.Close)
+	step := make(chan struct{})
+	snap, err := m.Submit("t", 5, taskFunc(func(ctx context.Context, publish func(any)) error {
+		publish("halfway")
+		<-step
+		return nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	notify, stop, ok := m.Watch(snap.ID)
+	if !ok {
+		t.Fatal("watch failed")
+	}
+	defer stop()
+	deadline := time.After(5 * time.Second)
+	for {
+		got, _ := m.Get(snap.ID)
+		if got.Progress == "halfway" {
+			break
+		}
+		select {
+		case <-notify:
+		case <-deadline:
+			t.Fatalf("progress never arrived: %+v", got)
+		}
+	}
+	close(step)
+	for {
+		got, _ := m.Get(snap.ID)
+		if got.State == Done {
+			if got.Progress != "halfway" {
+				t.Fatalf("terminal snapshot lost progress: %v", got.Progress)
+			}
+			break
+		}
+		select {
+		case <-notify:
+		case <-deadline:
+			t.Fatal("done state never arrived")
+		}
+	}
+}
+
+// TestResultTTL: terminal jobs are purged after ResultTTL.
+func TestResultTTL(t *testing.T) {
+	m := New(Config{Workers: 1, ResultTTL: 30 * time.Millisecond})
+	t.Cleanup(m.Close)
+	snap, err := m.Submit("t", 5, taskFunc(func(context.Context, func(any)) error { return nil }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, snap.ID, Done)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok := m.Get(snap.ID); !ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("terminal job never purged")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestCloseCancelsEverything: Close cancels queued and running jobs
+// and rejects later submissions.
+func TestCloseCancelsEverything(t *testing.T) {
+	m := New(Config{Workers: 1})
+	started := make(chan string, 1)
+	runSnap, err := m.Submit("t", 5, blockerTask(started, nil, "r"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	queuedSnap, err := m.Submit("t", 5, taskFunc(func(context.Context, func(any)) error { return nil }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	if got, _ := m.Get(runSnap.ID); got.State != Canceled {
+		t.Fatalf("running job after Close: %s, want canceled", got.State)
+	}
+	if got, _ := m.Get(queuedSnap.ID); got.State != Canceled {
+		t.Fatalf("queued job after Close: %s, want canceled", got.State)
+	}
+	if _, err := m.Submit("t", 5, taskFunc(func(context.Context, func(any)) error { return nil })); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after Close: %v, want ErrClosed", err)
+	}
+}

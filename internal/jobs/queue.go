@@ -1,0 +1,187 @@
+package jobs
+
+// fairQueue is the bounded priority queue feeding the worker pool:
+// jobs are grouped into priority bands (higher band pops first) and,
+// within a band, drained round-robin across tenants — one job per
+// tenant per turn, FIFO within a tenant — so a tenant flooding the
+// backlog cannot starve another tenant's occasional job. All methods
+// require the Manager's lock.
+type fairQueue struct {
+	bands map[int]*band
+	// prios mirrors the keys of bands in descending order; empty bands
+	// stay resident (at most a handful of distinct priorities exist, so
+	// there is nothing worth reclaiming).
+	prios []int
+	size  int
+}
+
+// band is one priority level: a round-robin ring of per-tenant FIFOs.
+// A tenant is in the ring exactly while it has queued jobs.
+type band struct {
+	tenants map[string]*tenantFIFO
+	ring    []*tenantFIFO
+	// cursor indexes the ring entry that pops next.
+	cursor int
+}
+
+type tenantFIFO struct {
+	tenant string
+	jobs   []*job
+}
+
+func newFairQueue() *fairQueue {
+	return &fairQueue{bands: make(map[int]*band)}
+}
+
+func (q *fairQueue) len() int { return q.size }
+
+// push appends the job to its tenant's FIFO in its priority band. New
+// tenants join the ring behind the current cursor, so an arriving
+// tenant waits at most one full round before its first turn.
+func (q *fairQueue) push(j *job) {
+	b := q.bands[j.priority]
+	if b == nil {
+		b = &band{tenants: make(map[string]*tenantFIFO)}
+		q.bands[j.priority] = b
+		// Insert the priority keeping prios sorted descending.
+		at := len(q.prios)
+		for i, p := range q.prios {
+			if j.priority > p {
+				at = i
+				break
+			}
+		}
+		q.prios = append(q.prios, 0)
+		copy(q.prios[at+1:], q.prios[at:])
+		q.prios[at] = j.priority
+	}
+	tf := b.tenants[j.tenant]
+	if tf == nil {
+		tf = &tenantFIFO{tenant: j.tenant}
+		b.tenants[j.tenant] = tf
+		b.ring = append(b.ring, tf)
+	}
+	tf.jobs = append(tf.jobs, j)
+	q.size++
+}
+
+// pop removes and returns the next job: the highest non-empty band's
+// round-robin turn. Returns nil when the queue is empty.
+func (q *fairQueue) pop() *job {
+	for _, p := range q.prios {
+		b := q.bands[p]
+		if len(b.ring) == 0 {
+			continue
+		}
+		if b.cursor >= len(b.ring) {
+			b.cursor = 0
+		}
+		tf := b.ring[b.cursor]
+		j := tf.jobs[0]
+		tf.jobs = tf.jobs[1:]
+		if len(tf.jobs) == 0 {
+			b.dropTenant(b.cursor)
+		} else {
+			b.cursor++
+		}
+		if b.cursor >= len(b.ring) {
+			b.cursor = 0
+		}
+		q.size--
+		return j
+	}
+	return nil
+}
+
+// remove deletes a queued job (a cancellation), preserving the ring
+// order of everything else.
+func (q *fairQueue) remove(j *job) bool {
+	b := q.bands[j.priority]
+	if b == nil {
+		return false
+	}
+	tf := b.tenants[j.tenant]
+	if tf == nil {
+		return false
+	}
+	for i, qj := range tf.jobs {
+		if qj == j {
+			tf.jobs = append(tf.jobs[:i], tf.jobs[i+1:]...)
+			if len(tf.jobs) == 0 {
+				for ri, rt := range b.ring {
+					if rt == tf {
+						b.dropTenant(ri)
+						break
+					}
+				}
+				if b.cursor >= len(b.ring) {
+					b.cursor = 0
+				}
+			}
+			q.size--
+			return true
+		}
+	}
+	return false
+}
+
+// dropTenant removes the ring entry at index ri, keeping the cursor
+// pointed at the entry that would have popped next.
+func (b *band) dropTenant(ri int) {
+	tf := b.ring[ri]
+	delete(b.tenants, tf.tenant)
+	b.ring = append(b.ring[:ri], b.ring[ri+1:]...)
+	if ri < b.cursor {
+		b.cursor--
+	}
+}
+
+// position reports how many queued jobs pop before the given job under
+// the current queue state (0 = next), by simulating the drain order
+// without mutating it. O(queue size), which the backlog bound keeps
+// small. Returns -1 if the job is not queued.
+func (q *fairQueue) position(j *job) int {
+	pos := 0
+	for _, p := range q.prios {
+		b := q.bands[p]
+		if p != j.priority {
+			if p > j.priority {
+				for _, tf := range b.ring {
+					pos += len(tf.jobs)
+				}
+			}
+			continue
+		}
+		// Simulate this band's round-robin drain on shadow counters.
+		type shadow struct {
+			tf   *tenantFIFO
+			next int // index of the tenant's next un-popped job
+		}
+		ring := make([]shadow, len(b.ring))
+		for i, tf := range b.ring {
+			ring[i] = shadow{tf: tf}
+		}
+		cursor := b.cursor
+		if cursor >= len(ring) {
+			cursor = 0
+		}
+		for len(ring) > 0 {
+			s := &ring[cursor]
+			if s.tf.jobs[s.next] == j {
+				return pos
+			}
+			pos++
+			s.next++
+			if s.next == len(s.tf.jobs) {
+				ring = append(ring[:cursor], ring[cursor+1:]...)
+			} else {
+				cursor++
+			}
+			if cursor >= len(ring) {
+				cursor = 0
+			}
+		}
+		return -1 // job claims this band but is not queued in it
+	}
+	return -1
+}

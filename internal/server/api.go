@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -64,6 +65,11 @@ type apiError struct {
 func badRequest(code, format string, args ...any) *apiError {
 	return &apiError{status: http.StatusBadRequest, code: code, msg: fmt.Sprintf(format, args...)}
 }
+
+// Error makes apiError a plain error too, so the async job runner can
+// carry one through the jobs package's error slot and recover the
+// typed envelope on the other side.
+func (e *apiError) Error() string { return fmt.Sprintf("%s: %s", e.code, e.msg) }
 
 // responseWriteTimeout bounds writing one response: a client that
 // stops reading has the write fail at the deadline — freeing the
@@ -129,6 +135,22 @@ func decodeRequest(w http.ResponseWriter, r *http.Request, maxBytes int64, dst a
 			return &apiError{status: http.StatusRequestEntityTooLarge, code: "too_large",
 				msg: fmt.Sprintf("request body exceeds %d bytes", mbe.Limit)}
 		}
+		return badRequest("bad_request", "malformed request: %v", err)
+	}
+	if dec.More() {
+		return badRequest("bad_request", "trailing data after request object")
+	}
+	return nil
+}
+
+// decodeStrictBytes strictly decodes one JSON object from in-memory
+// bytes: unknown fields rejected, trailing data rejected. It is
+// decodeRequest for payloads already read off the wire — the nested
+// request object of a job submission.
+func decodeStrictBytes(data []byte, dst any) *apiError {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
 		return badRequest("bad_request", "malformed request: %v", err)
 	}
 	if dec.More() {

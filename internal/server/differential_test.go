@@ -34,8 +34,15 @@ var diffSweepSizes = []int64{256, 1024, 4096}
 // transport must reproduce byte for byte.
 func buildDiffCases(t testing.TB) []*diffCase {
 	t.Helper()
-	cases := make([]*diffCase, 0, diffScenarios)
-	for seed := int64(0); seed < diffScenarios; seed++ {
+	return buildDiffCasesN(t, diffScenarios)
+}
+
+// buildDiffCasesN builds the first n scenarios (the async job suite
+// uses a smaller slice of the same reference set).
+func buildDiffCasesN(t testing.TB, n int) []*diffCase {
+	t.Helper()
+	cases := make([]*diffCase, 0, n)
+	for seed := int64(0); seed < int64(n); seed++ {
 		sc := progen.Generate(seed)
 		engineName := "greedy"
 		engine := mhla.Greedy

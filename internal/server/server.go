@@ -7,7 +7,21 @@
 //	POST /v1/batch    — an Explorer grid over catalog applications
 //	POST /v1/simulate — the trace-driven cache+prefetch simulator backend
 //	GET  /v1/apps     — the benchmark application catalog
-//	GET  /healthz     — liveness plus cache, in-flight and per-endpoint statistics
+//	GET  /healthz     — liveness plus cache, in-flight, job and per-endpoint statistics
+//
+// The same compute requests also run asynchronously through the
+// /v1/jobs family backed by internal/jobs (a bounded worker pool over
+// a tenant-fair priority queue):
+//
+//	POST   /v1/jobs             — submit {"kind","request","priority"}, get a job ID (202)
+//	GET    /v1/jobs/{id}        — status envelope: state, queue position, progress
+//	GET    /v1/jobs/{id}/result — the stored result bytes, identical to the sync response
+//	GET    /v1/jobs/{id}/events — NDJSON stream of envelope transitions
+//	DELETE /v1/jobs/{id}        — cancel (queued or running)
+//
+// Sync handlers and job workers share one parse/execute path (the
+// work interface), so an async result is byte-for-byte the sync
+// response — enforced by the jobs differential test.
 //
 // The core is a bounded LRU cache of compiled workspaces keyed by the
 // canonical program digest (modelio.ProgramDigest): N concurrent
@@ -30,13 +44,16 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"log"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"mhla/internal/apps"
+	"mhla/internal/jobs"
 	"mhla/pkg/mhla"
 )
 
@@ -73,6 +90,18 @@ type Config struct {
 	// with the program's digest — the metrics (and test) hook that
 	// observes the compiled-exactly-once guarantee.
 	OnCompile func(digest string)
+	// JobWorkers bounds the async jobs executing concurrently (default
+	// 2). The job pool is separate from the synchronous in-flight
+	// semaphore: async work is throughput-shaped and must not be able
+	// to occupy every latency-path slot.
+	JobWorkers int
+	// JobBacklog bounds the queued (not yet running) async jobs;
+	// submissions into a full backlog are shed with 429 + Retry-After
+	// (default 256).
+	JobBacklog int
+	// JobResultTTL bounds how long a finished job (and its result)
+	// stays fetchable (default 15 minutes).
+	JobResultTTL time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -100,6 +129,8 @@ type Stats struct {
 	InFlight int64 `json:"in_flight"`
 	// Requests counts requests accepted across all endpoints.
 	Requests int64 `json:"requests_total"`
+	// Jobs are the async job-layer counters.
+	Jobs jobs.Stats `json:"jobs"`
 	// Endpoints breaks the request and error counts down per endpoint
 	// (errors are responses with a 4xx/5xx status).
 	Endpoints map[string]EndpointStats `json:"endpoints"`
@@ -132,6 +163,9 @@ type Server struct {
 	intake   chan struct{}
 	inFlight atomic.Int64
 	requests atomic.Int64
+	// jobs is the async execution layer behind the /v1/jobs family: a
+	// bounded worker pool fed by a tenant-fair priority queue.
+	jobs *jobs.Manager
 	// endpoints maps endpoint name to its counters; the map is fixed at
 	// New (only values mutate), so reads need no lock.
 	endpoints map[string]*endpointCounter
@@ -165,12 +199,21 @@ func New(cfg Config) *Server {
 		endpoints: make(map[string]*endpointCounter),
 		catalog:   make(map[string]catalogProgram),
 	}
+	s.jobs = jobs.New(jobs.Config{
+		Workers:   cfg.JobWorkers,
+		Backlog:   cfg.JobBacklog,
+		ResultTTL: cfg.JobResultTTL,
+	})
 	s.mux.HandleFunc("/healthz", s.count("/healthz", s.handleHealthz))
 	s.mux.HandleFunc("/v1/apps", s.count("/v1/apps", s.handleApps))
 	s.mux.HandleFunc("/v1/run", s.count("/v1/run", s.handleRun))
 	s.mux.HandleFunc("/v1/sweep", s.count("/v1/sweep", s.handleSweep))
 	s.mux.HandleFunc("/v1/batch", s.count("/v1/batch", s.handleBatch))
 	s.mux.HandleFunc("/v1/simulate", s.count("/v1/simulate", s.handleSimulate))
+	s.mux.HandleFunc("/v1/jobs", s.count("/v1/jobs", s.handleJobSubmit))
+	s.mux.HandleFunc("/v1/jobs/{id}", s.count("/v1/jobs/{id}", s.handleJob))
+	s.mux.HandleFunc("/v1/jobs/{id}/result", s.count("/v1/jobs/{id}/result", s.handleJobResult))
+	s.mux.HandleFunc("/v1/jobs/{id}/events", s.count("/v1/jobs/{id}/events", s.handleJobEvents))
 	s.mux.HandleFunc("/", s.count("other", func(w http.ResponseWriter, r *http.Request) {
 		(&apiError{status: http.StatusNotFound, code: "not_found",
 			msg: "unknown endpoint " + r.URL.Path}).write(w)
@@ -182,12 +225,18 @@ func New(cfg Config) *Server {
 // httptest.Server in tests).
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// Close stops the async job layer: queued jobs are canceled, running
+// jobs have their contexts canceled, and Close blocks until the job
+// workers exit. Call it after the HTTP server has shut down.
+func (s *Server) Close() { s.jobs.Close() }
+
 // Stats snapshots the server counters.
 func (s *Server) Stats() Stats {
 	st := Stats{
 		Cache:     s.cache.stats(),
 		InFlight:  s.inFlight.Load(),
 		Requests:  s.requests.Load(),
+		Jobs:      s.jobs.Stats(),
 		Endpoints: make(map[string]EndpointStats, len(s.endpoints)),
 	}
 	for name, c := range s.endpoints {
@@ -232,10 +281,30 @@ func (s *Server) count(name string, h http.HandlerFunc) http.HandlerFunc {
 		s.requests.Add(1)
 		c.requests.Add(1)
 		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			if rec := recover(); rec != nil {
+				// http.ErrAbortHandler is the sanctioned way to abort a
+				// response; re-panic so net/http applies its contract.
+				if err, ok := rec.(error); ok && errors.Is(err, http.ErrAbortHandler) {
+					panic(rec)
+				}
+				// Any other panic must still produce a typed response and
+				// hit the error accounting — unwinding into net/http would
+				// kill the connection with no response and no counter
+				// update, and the flow's own recovery ends here.
+				log.Printf("server: panic in %s handler: %v\n%s", name, rec, debug.Stack())
+				if sw.status == 0 {
+					(&apiError{status: http.StatusInternalServerError, code: "internal",
+						msg: "internal error handling the request"}).write(sw)
+				}
+				c.errors.Add(1)
+				return
+			}
+			if sw.status >= 400 {
+				c.errors.Add(1)
+			}
+		}()
 		h(sw, r)
-		if sw.status >= 400 {
-			c.errors.Add(1)
-		}
 	}
 }
 
@@ -250,23 +319,41 @@ func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
 	return true
 }
 
+// slotWaitError maps a context error on a slot wait to the typed wire
+// form: deadline expiry is overload (503), anything else means the
+// client went away (499).
+func slotWaitError(err error, what string) *apiError {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return &apiError{status: http.StatusServiceUnavailable, code: "overloaded",
+			msg: "timed out waiting for " + what}
+	}
+	return &apiError{status: statusClientClosed, code: "canceled",
+		msg: "client went away while waiting for " + what}
+}
+
 // acquire takes an in-flight slot, waiting until one frees up or the
-// request dies. The returned release must run exactly once.
+// request dies. The returned release is idempotent (a second call is a
+// no-op) and must run at least once.
 func (s *Server) acquire(ctx context.Context) (release func(), apiErr *apiError) {
 	select {
 	case s.sem <- struct{}{}:
-		s.inFlight.Add(1)
-		return func() {
-			s.inFlight.Add(-1)
+		// select chooses uniformly when a slot and ctx.Done() are both
+		// ready, so winning the slot does not mean the request is alive —
+		// re-check before handing compute to a dead request.
+		if err := ctx.Err(); err != nil {
 			<-s.sem
+			return nil, slotWaitError(err, "an in-flight slot")
+		}
+		s.inFlight.Add(1)
+		var once sync.Once
+		return func() {
+			once.Do(func() {
+				s.inFlight.Add(-1)
+				<-s.sem
+			})
 		}, nil
 	case <-ctx.Done():
-		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
-			return nil, &apiError{status: http.StatusServiceUnavailable, code: "overloaded",
-				msg: "timed out waiting for an in-flight slot"}
-		}
-		return nil, &apiError{status: statusClientClosed, code: "canceled",
-			msg: "client went away while waiting for a slot"}
+		return nil, slotWaitError(ctx.Err(), "an in-flight slot")
 	}
 }
 
@@ -286,6 +373,13 @@ func (s *Server) acquireIntake(ctx context.Context) (release func(), apiErr *api
 		var once sync.Once
 		return func() { once.Do(func() { <-s.intake }) }
 	}
+	// The fast path's default branch never consults ctx, and both
+	// selects choose uniformly when a slot and ctx.Done() are ready at
+	// once — either way a dead request could win a slot. Check up
+	// front and re-check after every win.
+	if err := ctx.Err(); err != nil {
+		return nil, slotWaitError(err, "an intake slot")
+	}
 	select {
 	case s.intake <- struct{}{}:
 		return idempotent(), nil
@@ -295,6 +389,10 @@ func (s *Server) acquireIntake(ctx context.Context) (release func(), apiErr *api
 	defer timer.Stop()
 	select {
 	case s.intake <- struct{}{}:
+		if err := ctx.Err(); err != nil {
+			<-s.intake
+			return nil, slotWaitError(err, "an intake slot")
+		}
 		return idempotent(), nil
 	case <-timer.C:
 		// Deliberate load shedding (as opposed to the request dying):
@@ -303,12 +401,7 @@ func (s *Server) acquireIntake(ctx context.Context) (release func(), apiErr *api
 		return nil, &apiError{status: http.StatusTooManyRequests, code: "overloaded",
 			msg: "intake full: timed out waiting for an intake slot", retryAfter: 1}
 	case <-ctx.Done():
-		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
-			return nil, &apiError{status: http.StatusServiceUnavailable, code: "overloaded",
-				msg: "timed out waiting for an intake slot"}
-		}
-		return nil, &apiError{status: statusClientClosed, code: "canceled",
-			msg: "client went away while waiting for an intake slot"}
+		return nil, slotWaitError(ctx.Err(), "an intake slot")
 	}
 }
 
@@ -410,280 +503,80 @@ func mapRunError(err error) *apiError {
 	}
 }
 
-// flowOptions assembles the shared option prefix of a compute call:
-// the cached workspace plus the server-wide progress observer.
-func (s *Server) flowOptions(ws *mhla.Workspace) []mhla.Option {
-	opts := []mhla.Option{mhla.WithWorkspace(ws)}
-	if s.cfg.Progress != nil {
-		opts = append(opts, mhla.WithProgress(s.cfg.Progress))
+// serveCompute is the shared synchronous compute skeleton: intake
+// slot, decode+validate (the decode callback), intake back, compute
+// slot, execute, write. The compute slot is taken only once the
+// request is fully read and validated, so slow-body or malformed
+// clients never pin a compute slot, and the intake slot goes back
+// first — a request queued on compute must not starve the fast-reject
+// path of later requests.
+func (s *Server) serveCompute(w http.ResponseWriter, r *http.Request, decode func() (work, *apiError)) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
 	}
-	return opts
+	ctx, cancel := s.computeCtx(r)
+	defer cancel()
+	releaseIntake, apiErr := s.acquireIntake(ctx)
+	if apiErr != nil {
+		apiErr.write(w)
+		return
+	}
+	defer releaseIntake()
+	wk, apiErr := decode()
+	if apiErr != nil {
+		apiErr.write(w)
+		return
+	}
+	releaseIntake()
+	release, apiErr := s.acquire(ctx)
+	if apiErr != nil {
+		apiErr.write(w)
+		return
+	}
+	defer release()
+	body, apiErr := wk.execute(ctx, s, s.cfg.Progress)
+	if apiErr != nil {
+		apiErr.write(w)
+		return
+	}
+	writeJSON(w, body)
 }
 
 // handleRun serves POST /v1/run: the full MHLA+TE flow on one
 // program+platform, answered with mhla.ResultJSON bytes.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
-	if !requireMethod(w, r, http.MethodPost) {
-		return
-	}
-	ctx, cancel := s.computeCtx(r)
-	defer cancel()
-	releaseIntake, apiErr := s.acquireIntake(ctx)
-	if apiErr != nil {
-		apiErr.write(w)
-		return
-	}
-	defer releaseIntake()
-	var req runRequest
-	if apiErr := decodeRequest(w, r, s.cfg.MaxBodyBytes, &req); apiErr != nil {
-		apiErr.write(w)
-		return
-	}
-	searchOpts, apiErr := req.options(s.cfg.MaxStates)
-	if apiErr != nil {
-		apiErr.write(w)
-		return
-	}
-	platOpts, apiErr := req.platformOptions()
-	if apiErr != nil {
-		apiErr.write(w)
-		return
-	}
-	prog, digest, apiErr := s.resolveProgram(req.programRef)
-	if apiErr != nil {
-		apiErr.write(w)
-		return
-	}
-	// The slot is taken only once the request is fully read and
-	// validated, so slow-body or malformed clients never pin a
-	// compute slot; the compile + flow below are the bounded work.
-	// The intake slot goes back first — a request queued on compute
-	// must not starve the fast-reject path of later requests.
-	releaseIntake()
-	release, apiErr := s.acquire(ctx)
-	if apiErr != nil {
-		apiErr.write(w)
-		return
-	}
-	defer release()
-	ws, apiErr := s.workspaceFor(prog, digest)
-	if apiErr != nil {
-		apiErr.write(w)
-		return
-	}
-
-	opts := append(s.flowOptions(ws), platOpts...)
-	opts = append(opts, searchOpts...)
-	res, err := mhla.Run(ctx, nil, opts...)
-	if err != nil {
-		mapRunError(err).write(w)
-		return
-	}
-	body, err := mhla.ResultJSON(res)
-	if err != nil {
-		mapRunError(err).write(w)
-		return
-	}
-	writeJSON(w, body)
+	s.serveCompute(w, r, func() (work, *apiError) {
+		var req runRequest
+		if apiErr := decodeRequest(w, r, s.cfg.MaxBodyBytes, &req); apiErr != nil {
+			return nil, apiErr
+		}
+		return req.work(s)
+	})
 }
 
 // handleSweep serves POST /v1/sweep: the concurrent L1 sweep over the
 // cached workspace, answered with Sweep.JSON bytes.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	if !requireMethod(w, r, http.MethodPost) {
-		return
-	}
-	ctx, cancel := s.computeCtx(r)
-	defer cancel()
-	releaseIntake, apiErr := s.acquireIntake(ctx)
-	if apiErr != nil {
-		apiErr.write(w)
-		return
-	}
-	defer releaseIntake()
-	var req sweepRequest
-	if apiErr := decodeRequest(w, r, s.cfg.MaxBodyBytes, &req); apiErr != nil {
-		apiErr.write(w)
-		return
-	}
-	if apiErr := req.validateSizes(); apiErr != nil {
-		apiErr.write(w)
-		return
-	}
-	searchOpts, apiErr := req.options(s.cfg.MaxStates)
-	if apiErr != nil {
-		apiErr.write(w)
-		return
-	}
-	prog, digest, apiErr := s.resolveProgram(req.programRef)
-	if apiErr != nil {
-		apiErr.write(w)
-		return
-	}
-	releaseIntake()
-	release, apiErr := s.acquire(ctx)
-	if apiErr != nil {
-		apiErr.write(w)
-		return
-	}
-	defer release()
-	ws, apiErr := s.workspaceFor(prog, digest)
-	if apiErr != nil {
-		apiErr.write(w)
-		return
-	}
-
-	opts := append(s.flowOptions(ws), searchOpts...)
-	// Nested pools multiply, so inside a sweep the engine worker count
-	// defaults to 1 (the sweep pool owns the parallelism), an explicit
-	// engine count on a parallel engine turns the sweep sequential,
-	// and an explicit pair is product-capped by validateSizes — one
-	// request is never more parallelism than a slot's worth. The
-	// greedy engine (the default) ignores Workers entirely, so an
-	// explicit count there must not cost the sweep its own pool.
-	// Results are identical at every worker count, so none of this
-	// shapes responses, only scheduling.
-	if req.SweepWorkers > 0 {
-		opts = append(opts, mhla.WithSweepWorkers(req.SweepWorkers))
-	}
-	if req.Workers == 0 {
-		opts = append(opts, mhla.WithWorkers(1))
-	} else if req.SweepWorkers == 0 && isExactEngine(req.Engine) {
-		opts = append(opts, mhla.WithSweepWorkers(1))
-	}
-	sw, err := mhla.SweepL1(ctx, nil, req.Sizes, opts...)
-	if err != nil {
-		mapRunError(err).write(w)
-		return
-	}
-	body, err := sw.JSON()
-	if err != nil {
-		mapRunError(err).write(w)
-		return
-	}
-	writeJSON(w, body)
+	s.serveCompute(w, r, func() (work, *apiError) {
+		var req sweepRequest
+		if apiErr := decodeRequest(w, r, s.cfg.MaxBodyBytes, &req); apiErr != nil {
+			return nil, apiErr
+		}
+		return req.work(s)
+	})
 }
 
 // handleBatch serves POST /v1/batch: an Explorer grid over catalog
 // applications, every distinct program resolved through the workspace
 // cache.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	if !requireMethod(w, r, http.MethodPost) {
-		return
-	}
-	ctx, cancel := s.computeCtx(r)
-	defer cancel()
-	releaseIntake, apiErr := s.acquireIntake(ctx)
-	if apiErr != nil {
-		apiErr.write(w)
-		return
-	}
-	defer releaseIntake()
-	var req batchRequest
-	if apiErr := decodeRequest(w, r, s.cfg.MaxBodyBytes, &req); apiErr != nil {
-		apiErr.write(w)
-		return
-	}
-	if apiErr := req.validate(); apiErr != nil {
-		apiErr.write(w)
-		return
-	}
-	searchOpts, apiErr := req.options(s.cfg.MaxStates)
-	if apiErr != nil {
-		apiErr.write(w)
-		return
-	}
-	var objectives []mhla.Objective
-	for _, name := range req.Objectives {
-		o, err := mhla.ParseObjective(name)
-		if err != nil {
-			badRequest("invalid_option", "%v", err).write(w)
-			return
+	s.serveCompute(w, r, func() (work, *apiError) {
+		var req batchRequest
+		if apiErr := decodeRequest(w, r, s.cfg.MaxBodyBytes, &req); apiErr != nil {
+			return nil, apiErr
 		}
-		objectives = append(objectives, o)
-	}
-
-	releaseIntake()
-	release, apiErr := s.acquire(ctx)
-	if apiErr != nil {
-		apiErr.write(w)
-		return
-	}
-	defer release()
-
-	grid := mhla.Grid{
-		L1Sizes:    req.L1Sizes,
-		Objectives: objectives,
-		Options:    searchOpts,
-	}
-	// Resolve every app through the workspace cache so repeated batch
-	// requests (and concurrent run/sweep requests for the same apps)
-	// share one compiled analysis per program.
-	workspaces := make(map[*mhla.Program]*mhla.Workspace, len(req.Apps))
-	for _, ref := range req.Apps {
-		prog, digest, apiErr := s.resolveProgram(programRef{App: ref, Scale: req.Scale})
-		if apiErr != nil {
-			apiErr.write(w)
-			return
-		}
-		ws, apiErr := s.workspaceFor(prog, digest)
-		if apiErr != nil {
-			apiErr.write(w)
-			return
-		}
-		// Run the grid jobs against the cached workspace's own program
-		// value: WithWorkspace checks program identity.
-		workspaces[ws.Program] = ws
-		grid.Apps = append(grid.Apps, mhla.GridApp{Name: ref, Program: ws.Program})
-	}
-
-	jobs := grid.Jobs()
-	for i := range jobs {
-		jobs[i].Options = append([]mhla.Option{mhla.WithWorkspace(workspaces[jobs[i].Program])}, jobs[i].Options...)
-	}
-	ex := mhla.Explorer{Workers: req.BatchWorkers}
-	// Same nested-pool discipline as the sweep: engine workers default
-	// to 1 (the Explorer pool owns the parallelism), an explicit
-	// engine count on a parallel engine turns the Explorer sequential
-	// (greedy ignores Workers, so it keeps the pool), and an explicit
-	// pair is product-capped above.
-	if req.Workers == 0 {
-		ex.Options = append(ex.Options, mhla.WithWorkers(1))
-	} else if req.BatchWorkers == 0 && isExactEngine(req.Engine) {
-		ex.Workers = 1
-	}
-	if s.cfg.Progress != nil {
-		ex.Options = append(ex.Options, mhla.WithProgress(s.cfg.Progress))
-	}
-	results, err := ex.Explore(ctx, jobs)
-	if err != nil {
-		mapRunError(err).write(w)
-		return
-	}
-	resp := batchResponse{Jobs: make([]batchJobJSON, 0, len(results))}
-	for _, jr := range results {
-		job := batchJobJSON{Label: jr.Label}
-		if jr.Err != nil {
-			// Same sanitization discipline as mapRunError: input-derived
-			// and context errors pass through, anything unexpected stays
-			// a fixed message.
-			job.Error = mapRunError(jr.Err).msg
-		} else {
-			body, err := mhla.ResultJSON(jr.Result)
-			if err != nil {
-				mapRunError(err).write(w)
-				return
-			}
-			job.Result = body
-		}
-		resp.Jobs = append(resp.Jobs, job)
-	}
-	body, err := json.MarshalIndent(resp, "", "  ")
-	if err != nil {
-		mapRunError(err).write(w)
-		return
-	}
-	writeJSON(w, body)
+		return req.work(s)
+	})
 }
 
 // handleApps serves GET /v1/apps: the benchmark catalog.

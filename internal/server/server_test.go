@@ -23,6 +23,9 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	srv := New(cfg)
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
+	// LIFO: the job layer shuts down first, unblocking any event
+	// streams ts.Close would otherwise wait on.
+	t.Cleanup(srv.Close)
 	return srv, ts
 }
 

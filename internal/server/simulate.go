@@ -136,62 +136,11 @@ func mapSimulateError(err error) *apiError {
 // mhla.SimulateJSON bytes (byte-identical to the direct facade call,
 // like every compute endpoint).
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
-	if !requireMethod(w, r, http.MethodPost) {
-		return
-	}
-	ctx, cancel := s.computeCtx(r)
-	defer cancel()
-	releaseIntake, apiErr := s.acquireIntake(ctx)
-	if apiErr != nil {
-		apiErr.write(w)
-		return
-	}
-	defer releaseIntake()
-	var req simulateRequest
-	if apiErr := decodeRequest(w, r, s.cfg.MaxBodyBytes, &req); apiErr != nil {
-		apiErr.write(w)
-		return
-	}
-	plat, apiErr := req.platformValue()
-	if apiErr != nil {
-		apiErr.write(w)
-		return
-	}
-	cacheCfg, apiErr := req.cacheConfig(plat)
-	if apiErr != nil {
-		apiErr.write(w)
-		return
-	}
-	prog, digest, apiErr := s.resolveProgram(req.programRef)
-	if apiErr != nil {
-		apiErr.write(w)
-		return
-	}
-	// Same slot discipline as the other compute endpoints: intake back
-	// first, then the bounded replay on a compute slot.
-	releaseIntake()
-	release, apiErr := s.acquire(ctx)
-	if apiErr != nil {
-		apiErr.write(w)
-		return
-	}
-	defer release()
-	ws, apiErr := s.workspaceFor(prog, digest)
-	if apiErr != nil {
-		apiErr.write(w)
-		return
-	}
-
-	opts := append(s.flowOptions(ws), mhla.WithPlatform(plat))
-	res, err := mhla.Simulate(ctx, nil, cacheCfg, opts...)
-	if err != nil {
-		mapSimulateError(err).write(w)
-		return
-	}
-	body, err := mhla.SimulateJSON(res)
-	if err != nil {
-		mapSimulateError(err).write(w)
-		return
-	}
-	writeJSON(w, body)
+	s.serveCompute(w, r, func() (work, *apiError) {
+		var req simulateRequest
+		if apiErr := decodeRequest(w, r, s.cfg.MaxBodyBytes, &req); apiErr != nil {
+			return nil, apiErr
+		}
+		return req.work(s)
+	})
 }

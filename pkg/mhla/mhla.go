@@ -230,6 +230,34 @@ func WithProgress(fn ProgressFunc) Option {
 	return func(c *config) { c.progress = fn }
 }
 
+// TeeProgress fans flow progress snapshots out to several observers:
+// the returned callback forwards each snapshot to every non-nil fn,
+// in argument order and on the caller's goroutine, so the combined
+// callback keeps the same delivery guarantees each fn would have had
+// alone. nil fns are skipped; with zero (or only nil) fns the result
+// is nil, so it composes with code that gates on a nil ProgressFunc.
+// The serving layer uses this to chain its server-wide observer with
+// a per-job progress publisher.
+func TeeProgress(fns ...ProgressFunc) ProgressFunc {
+	var live []ProgressFunc
+	for _, fn := range fns {
+		if fn != nil {
+			live = append(live, fn)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return func(p Progress) {
+		for _, fn := range live {
+			fn(p)
+		}
+	}
+}
+
 // Compile builds the compile-once workspace of a program: validation,
 // the data-reuse analysis and the program-side lifetime/dependence
 // tables every flow step reads. The workspace is immutable and safe

@@ -356,3 +356,36 @@ func TestParseHelpers(t *testing.T) {
 		t.Error("ParsePolicy accepted bogus")
 	}
 }
+
+func TestTeeProgress(t *testing.T) {
+	if mhla.TeeProgress() != nil {
+		t.Error("TeeProgress() of nothing should be nil")
+	}
+	if mhla.TeeProgress(nil, nil) != nil {
+		t.Error("TeeProgress of only nil fns should be nil")
+	}
+	var single []mhla.Phase
+	one := func(p mhla.Progress) { single = append(single, p.Phase) }
+	mhla.TeeProgress(nil, one, nil)(mhla.Progress{Phase: mhla.PhaseAssign})
+	if len(single) != 1 || single[0] != mhla.PhaseAssign {
+		t.Errorf("single-fn tee delivered %v", single)
+	}
+	// Fan-out preserves argument order per snapshot.
+	var order []string
+	tee := mhla.TeeProgress(
+		func(p mhla.Progress) { order = append(order, "a:"+string(p.Phase)) },
+		nil,
+		func(p mhla.Progress) { order = append(order, "b:"+string(p.Phase)) },
+	)
+	tee(mhla.Progress{Phase: mhla.PhaseAnalyze})
+	tee(mhla.Progress{Phase: mhla.PhaseExtend})
+	want := []string{"a:analyze", "b:analyze", "a:extend", "b:extend"}
+	if len(order) != len(want) {
+		t.Fatalf("tee delivered %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("tee delivered %v, want %v", order, want)
+		}
+	}
+}
