@@ -17,6 +17,17 @@
 //
 //	mhla-loadgen -duration 10s -rate 50 -async 50 -out BENCH_JOBS.json
 //	mhla-loadgen -url http://127.0.0.1:8080 -rate 200 -clients 32
+//
+// With -restart the tool measures crash recovery instead
+// (BENCH_PERSIST.json in this repository): it boots an in-process
+// server with persistence on -snapshot-dir (a temp directory when
+// empty), drives phase-1 load, parks a fire-and-forget job backlog,
+// kills the server the way SIGKILL would (no flush, no drain), reboots
+// on the same artifacts and records boot, cache-rewarm and
+// backlog-drain times plus the recovery counters, then drives phase-2
+// load against the rewarmed server:
+//
+//	mhla-loadgen -restart -duration 4s -rate 30 -async 50 -out BENCH_PERSIST.json
 package main
 
 import (
@@ -52,6 +63,8 @@ func main() {
 		l1       = flag.Int64("l1", 512, "L1 capacity (bytes) of the run requests")
 		workers  = flag.Int("jobworkers", 0, "in-process server: async job workers (0 = 2)")
 		inflight = flag.Int("inflight", 0, "in-process server: max in-flight sync requests (0 = 4x GOMAXPROCS)")
+		snapDir  = flag.String("snapshot-dir", "", "in-process server: persistence directory (empty = memory-only; -restart defaults to a temp dir)")
+		restart  = flag.Bool("restart", false, "kill-restart mode: load, kill -9 the in-process server, reboot on the same artifacts, measure recovery")
 	)
 	flag.Parse()
 	if *asyncPct < 0 || *asyncPct > 100 {
@@ -61,21 +74,30 @@ func main() {
 		fatal(fmt.Errorf("-rate %g must be positive", *rate))
 	}
 
-	base := strings.TrimSuffix(*url, "/")
-	var shutdown func()
-	if base == "" {
-		var err error
-		base, shutdown, err = startInProcess(*workers, *inflight)
-		if err != nil {
-			fatal(err)
-		}
-		defer shutdown()
-	}
-
 	runBody := fmt.Sprintf(`{"app":%q,"scale":%q,"l1_bytes":%d}`, *app, *scale, *l1)
 	jobBody := fmt.Sprintf(`{"kind":"run","request":%s}`, runBody)
 	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: *clients * 2}}
 	defer client.CloseIdleConnections()
+
+	cfg := server.Config{JobWorkers: *workers, MaxInFlight: *inflight, SnapshotDir: *snapDir}
+
+	if *restart {
+		if *url != "" {
+			fatal(fmt.Errorf("-restart kills and reboots an in-process server; it cannot target -url"))
+		}
+		runRestartMode(cfg, client, runBody, jobBody, *duration, *rate, *asyncPct, *clients, *app, *scale, *l1, *out)
+		return
+	}
+
+	base := strings.TrimSuffix(*url, "/")
+	if base == "" {
+		p, err := startInProcess(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		defer p.close()
+		base = p.base
+	}
 
 	// Warm the workspace cache so the measurement sees steady state,
 	// not the one-time compile.
@@ -92,13 +114,25 @@ func main() {
 		jobBody:  jobBody,
 		asyncPct: *asyncPct,
 	}
+	issued, dropped, elapsed := runLoad(g, *clients, *rate, *duration, *asyncPct)
 
-	// Open loop: the ticker issues work at the configured rate whether
-	// or not earlier requests have completed; a full token channel
-	// (every client busy, buffer filled) counts as a client-side drop.
-	tokens := make(chan bool, *clients)
+	final, _ := getJSON(client, base+"/healthz")
+	report := g.report(issued, dropped, elapsed, *rate, *asyncPct, *clients, *app, *scale, *l1, final)
+	writeReport(*out, report)
+	if *out != "" {
+		fmt.Printf("mhla-loadgen: %d issued (%d dropped client-side) over %v -> %s\n",
+			issued, dropped, elapsed.Round(time.Millisecond), *out)
+	}
+}
+
+// runLoad drives the open-loop phase: the ticker issues work at the
+// configured rate whether or not earlier requests have completed; a
+// full token channel (every client busy, buffer filled) counts as a
+// client-side drop. The health sampler runs for the whole phase.
+func runLoad(g *loadgen, clients int, rate float64, duration time.Duration, asyncPct int) (issued, dropped int, elapsed time.Duration) {
+	tokens := make(chan bool, clients)
 	var wg sync.WaitGroup
-	for i := 0; i < *clients; i++ {
+	for i := 0; i < clients; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -120,13 +154,11 @@ func main() {
 		g.sampleHealth(samplerCtx)
 	}()
 
-	interval := time.Duration(float64(time.Second) / *rate)
-	ticker := time.NewTicker(interval)
+	ticker := time.NewTicker(time.Duration(float64(time.Second) / rate))
 	start := time.Now()
-	issued, dropped := 0, 0
-	for time.Since(start) < *duration {
+	for time.Since(start) < duration {
 		<-ticker.C
-		isAsync := issued%100 < *asyncPct
+		isAsync := issued%100 < asyncPct
 		select {
 		case tokens <- isAsync:
 			issued++
@@ -137,46 +169,209 @@ func main() {
 	ticker.Stop()
 	close(tokens)
 	wg.Wait()
-	elapsed := time.Since(start)
+	elapsed = time.Since(start)
 	samplerStop()
 	samplerWG.Wait()
+	return issued, dropped, elapsed
+}
 
-	final, _ := getJSON(client, base+"/healthz")
-	report := g.report(issued, dropped, elapsed, *rate, *asyncPct, *clients, *app, *scale, *l1, final)
+// writeReport marshals the report to -out (stdout when empty).
+func writeReport(out string, report map[string]any) {
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		fatal(err)
 	}
 	data = append(data, '\n')
-	if *out == "" {
+	if out == "" {
 		os.Stdout.Write(data)
 		return
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	if err := os.WriteFile(out, data, 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("mhla-loadgen: %d issued (%d dropped client-side) over %v -> %s\n",
-		issued, dropped, elapsed.Round(time.Millisecond), *out)
 }
 
-// startInProcess boots a loopback mhla-serve equivalent and returns
-// its base URL and a shutdown func.
-func startInProcess(jobWorkers, inflight int) (string, func(), error) {
-	srv := server.New(server.Config{JobWorkers: jobWorkers, MaxInFlight: inflight})
+// inproc is a loopback mhla-serve equivalent with direct access to the
+// server handle, so the restart mode can crash it and read its stats.
+type inproc struct {
+	srv  *server.Server
+	http *http.Server
+	base string
+}
+
+// startInProcess boots a loopback server.
+func startInProcess(cfg server.Config) (*inproc, error) {
+	srv := server.New(cfg)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return "", nil, err
+		srv.Close()
+		return nil, err
 	}
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	go httpSrv.Serve(ln)
-	shutdown := func() {
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		httpSrv.Shutdown(ctx)
-		srv.Close()
-	}
-	return "http://" + ln.Addr().String(), shutdown, nil
+	return &inproc{srv: srv, http: httpSrv, base: "http://" + ln.Addr().String()}, nil
 }
+
+// close shuts the server down gracefully (drains, flushes, journals).
+func (p *inproc) close() {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	p.http.Shutdown(ctx)
+	p.srv.Close()
+}
+
+// kill simulates SIGKILL: the listener drops dead and the server
+// aborts with no final flush and no graceful job cancelation — the
+// on-disk artifacts are exactly what a crash leaves behind.
+func (p *inproc) kill() {
+	p.http.Close()
+	p.srv.Abort()
+}
+
+// runRestartMode is the kill-restart measurement: phase-1 load, park a
+// job backlog, crash, reboot on the same artifacts, record the
+// recovery counters and times, phase-2 load on the rewarmed server.
+func runRestartMode(cfg server.Config, client *http.Client, runBody, jobBody string,
+	duration time.Duration, rate float64, asyncPct, clients int, app, scale string, l1 int64, out string) {
+	if cfg.SnapshotDir == "" {
+		dir, err := os.MkdirTemp("", "mhla-persist-")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		cfg.SnapshotDir = dir
+	}
+	// Flush fast enough that a phase-length run is guaranteed a durable
+	// snapshot before the kill.
+	cfg.SnapshotInterval = 500 * time.Millisecond
+
+	p1, err := startInProcess(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if code, body, err := post(client, p1.base+"/v1/run", runBody); err != nil {
+		fatal(fmt.Errorf("warm-up request: %w", err))
+	} else if code != http.StatusOK {
+		fatal(fmt.Errorf("warm-up request: status %d: %s", code, body))
+	}
+	g1 := &loadgen{client: client, base: p1.base, runBody: runBody, jobBody: jobBody, asyncPct: asyncPct}
+	issued1, dropped1, elapsed1 := runLoad(g1, clients, rate, duration, asyncPct)
+
+	if err := waitUntil(10*time.Second, func() bool {
+		return p1.srv.Stats().Persist.SnapshotsWritten >= 1
+	}); err != nil {
+		fatal(fmt.Errorf("no snapshot flushed before the kill: %w", err))
+	}
+
+	// Park a fire-and-forget backlog so the crash catches jobs queued
+	// and mid-run — the recovery path worth measuring. Sweep jobs (a
+	// whole L1 trade-off curve each) outlive the few milliseconds
+	// between submission and the kill; warm run jobs would drain first.
+	sweepBody := fmt.Sprintf(`{"kind":"sweep","request":{"app":%q,"scale":%q}}`, app, scale)
+	var backlogN atomic.Int64
+	var parkWG sync.WaitGroup
+	for i := 0; i < clients*2; i++ {
+		parkWG.Add(1)
+		go func() {
+			defer parkWG.Done()
+			if code, _, err := post(client, p1.base+"/v1/jobs", sweepBody); err == nil && code == http.StatusAccepted {
+				backlogN.Add(1)
+			}
+		}()
+	}
+	parkWG.Wait()
+	backlog := int(backlogN.Load())
+	atKill := p1.srv.Stats().Jobs
+	p1.kill()
+
+	bootStart := time.Now()
+	p2, err := startInProcess(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	bootMS := float64(time.Since(bootStart)) / float64(time.Millisecond)
+	rewarmErr := waitUntil(2*time.Minute, func() bool { return p2.srv.Stats().Persist.RewarmDone })
+	rewarmMS := float64(time.Since(bootStart)) / float64(time.Millisecond)
+	drainErr := waitUntil(2*time.Minute, func() bool {
+		st := p2.srv.Stats().Jobs
+		return st.Queued == 0 && st.Running == 0 && st.Interrupted == 0
+	})
+	drainMS := float64(time.Since(bootStart)) / float64(time.Millisecond)
+	if rewarmErr != nil || drainErr != nil {
+		fatal(fmt.Errorf("recovery did not complete: rewarm %v, drain %v", rewarmErr, drainErr))
+	}
+	ps := p2.srv.Stats().Persist
+
+	g2 := &loadgen{client: client, base: p2.base, runBody: runBody, jobBody: jobBody, asyncPct: asyncPct}
+	issued2, dropped2, elapsed2 := runLoad(g2, clients, rate, duration, asyncPct)
+	final, _ := getJSON(client, p2.base+"/healthz")
+	p2.close()
+
+	report := map[string]any{
+		"generated": time.Now().UTC().Format(time.RFC3339),
+		"mode":      "kill-restart",
+		"host":      hostInfo(),
+		"config": map[string]any{
+			"rate_hz":           rate,
+			"phase_duration":    duration.String(),
+			"async_percent":     asyncPct,
+			"clients":           clients,
+			"app":               app,
+			"scale":             scale,
+			"l1_bytes":          l1,
+			"snapshot_interval": cfg.SnapshotInterval.String(),
+		},
+		"phase1": map[string]any{
+			"issued":         issued1,
+			"dropped_client": dropped1,
+			"duration":       elapsed1.Round(time.Millisecond).String(),
+			"totals":         g1.totals(),
+		},
+		"kill": map[string]any{
+			"backlog_submitted": backlog,
+			"jobs_queued":       atKill.Queued,
+			"jobs_running":      atKill.Running,
+		},
+		"recovery": map[string]any{
+			"boot_ms":               round3(bootMS),
+			"rewarm_done_ms":        round3(rewarmMS),
+			"backlog_drained_ms":    round3(drainMS),
+			"snapshot_records":      ps.SnapshotRecords,
+			"rewarmed":              ps.Rewarmed,
+			"rewarm_failed":         ps.RewarmFailed,
+			"recovered_queued":      ps.RecoveredQueued,
+			"recovered_interrupted": ps.RecoveredInterrupted,
+			"recovered_dropped":     ps.RecoveredDropped,
+			"decode_errors":         ps.DecodeErrors,
+		},
+		"phase2": map[string]any{
+			"issued":         issued2,
+			"dropped_client": dropped2,
+			"duration":       elapsed2.Round(time.Millisecond).String(),
+			"totals":         g2.totals(),
+		},
+		"final_server_stats": final,
+	}
+	writeReport(out, report)
+	if out != "" {
+		fmt.Printf("mhla-loadgen: kill-restart: recovered %d queued + %d interrupted jobs, rewarmed %d programs in %.0fms -> %s\n",
+			ps.RecoveredQueued, ps.RecoveredInterrupted, ps.Rewarmed, rewarmMS, out)
+	}
+}
+
+// waitUntil polls cond every 2ms until it holds or the deadline hits.
+func waitUntil(timeout time.Duration, cond func() bool) error {
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("timed out after %v", timeout)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return nil
+}
+
+func round3(v float64) float64 { return math.Round(v*1000) / 1000 }
 
 // loadgen accumulates the measurement.
 type loadgen struct {
@@ -377,21 +572,49 @@ func intStats(xs []int) (maxV int, mean float64) {
 	return maxV, math.Round(float64(sum)/float64(len(xs))*100) / 100
 }
 
+// hostInfo is the report's host block (shared by both modes).
+func hostInfo() map[string]any {
+	return map[string]any{
+		"os":   runtime.GOOS,
+		"arch": runtime.GOARCH,
+		"cpus": runtime.NumCPU(),
+		"go":   runtime.Version(),
+		"note": "measured on the repository's CI-class container; on 1 CPU sync and async work share one core, so async queueing delay dominates e2e latency — re-measure on real cores for concurrency wins",
+	}
+}
+
+// totals is the per-phase outcome block.
+func (g *loadgen) totals() map[string]any {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return map[string]any{
+		"sync": map[string]any{
+			"ok":         g.syncOK.Load(),
+			"errors":     g.syncErr.Load(),
+			"latency_ms": summarize(g.syncLat),
+		},
+		"async": map[string]any{
+			"ok":                g.asyncOK.Load(),
+			"errors":            g.asyncErr.Load(),
+			"shed":              g.shed.Load(),
+			"submit_latency_ms": summarize(g.submitLat),
+			"e2e_latency_ms":    summarize(g.e2eLat),
+		},
+	}
+}
+
 func (g *loadgen) report(issued, dropped int, elapsed time.Duration, rate float64,
 	asyncPct, clients int, app, scale string, l1 int64, finalHealth json.RawMessage) map[string]any {
+	totals := g.totals()
+	totals["issued"] = issued
+	totals["dropped_client"] = dropped
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	maxQ, meanQ := intStats(g.queued)
 	maxR, meanR := intStats(g.running)
 	return map[string]any{
 		"generated": time.Now().UTC().Format(time.RFC3339),
-		"host": map[string]any{
-			"os":   runtime.GOOS,
-			"arch": runtime.GOARCH,
-			"cpus": runtime.NumCPU(),
-			"go":   runtime.Version(),
-			"note": "measured on the repository's CI-class container; on 1 CPU sync and async work share one core, so async queueing delay dominates e2e latency — re-measure on real cores for concurrency wins",
-		},
+		"host":      hostInfo(),
 		"config": map[string]any{
 			"rate_hz":       rate,
 			"duration":      elapsed.Round(time.Millisecond).String(),
@@ -401,22 +624,7 @@ func (g *loadgen) report(issued, dropped int, elapsed time.Duration, rate float6
 			"scale":         scale,
 			"l1_bytes":      l1,
 		},
-		"totals": map[string]any{
-			"issued":         issued,
-			"dropped_client": dropped,
-			"sync": map[string]any{
-				"ok":         g.syncOK.Load(),
-				"errors":     g.syncErr.Load(),
-				"latency_ms": summarize(g.syncLat),
-			},
-			"async": map[string]any{
-				"ok":                g.asyncOK.Load(),
-				"errors":            g.asyncErr.Load(),
-				"shed":              g.shed.Load(),
-				"submit_latency_ms": summarize(g.submitLat),
-				"e2e_latency_ms":    summarize(g.e2eLat),
-			},
-		},
+		"totals": totals,
 		"queue_depth": map[string]any{
 			"samples":       g.healthSamples.Load(),
 			"sample_errors": g.healthErr.Load(),

@@ -23,6 +23,14 @@
 //	mhla-serve -addr :8080
 //	mhla-serve -addr 127.0.0.1:8080 -cache 128 -inflight 16 -timeout 30s
 //	mhla-serve -jobworkers 4 -backlog 512 -jobttl 30m
+//	mhla-serve -snapshot-dir /var/lib/mhla -snapshot-interval 10s -retry-max 3
+//
+// With -snapshot-dir the server persists its compiled-workspace key
+// set (checksummed, atomically-renamed snapshots) and an append-only
+// journal of async job transitions: after a crash or kill -9 the next
+// boot rewarms the cache in the background, requeues journaled jobs
+// and retries interrupted ones with jittered backoff. Without it the
+// server is memory-only.
 //
 //	curl -s localhost:8080/healthz
 //	curl -s -X POST localhost:8080/v1/run -d '{"app":"me","l1_bytes":2048}'
@@ -60,18 +68,29 @@ func main() {
 		jobWorkers = flag.Int("jobworkers", 0, "async job workers (0 = 2)")
 		backlog    = flag.Int("backlog", 0, "async job backlog before shedding with 429 (0 = 256)")
 		jobTTL     = flag.Duration("jobttl", 0, "how long finished job results stay fetchable (0 = 15m)")
+		snapDir    = flag.String("snapshot-dir", "", "directory for the cache snapshot and job journal (empty = memory-only)")
+		snapEvery  = flag.Duration("snapshot-interval", 0, "snapshot flush cadence (0 = 10s)")
+		retryMax   = flag.Int("retry-max", 0, "crash-retry attempts before an interrupted job fails (0 = 3)")
 	)
 	flag.Parse()
 
 	srv := server.New(server.Config{
-		CacheEntries:   *cache,
-		MaxInFlight:    *inflight,
-		RequestTimeout: *timeout,
-		MaxStates:      *states,
-		JobWorkers:     *jobWorkers,
-		JobBacklog:     *backlog,
-		JobResultTTL:   *jobTTL,
+		CacheEntries:     *cache,
+		MaxInFlight:      *inflight,
+		RequestTimeout:   *timeout,
+		MaxStates:        *states,
+		JobWorkers:       *jobWorkers,
+		JobBacklog:       *backlog,
+		JobResultTTL:     *jobTTL,
+		SnapshotDir:      *snapDir,
+		SnapshotInterval: *snapEvery,
+		RetryMaxAttempts: *retryMax,
 	})
+	if *snapDir != "" {
+		ps := srv.Stats().Persist
+		log.Printf("mhla-serve: persistence enabled=%v dir=%s: %d snapshot records, recovered %d queued / %d interrupted / %d failed jobs",
+			ps.Enabled, *snapDir, ps.SnapshotRecords, ps.RecoveredQueued, ps.RecoveredInterrupted, ps.RecoveredDropped)
+	}
 	// Every request context derives from baseCtx, so cancelling it
 	// aborts in-flight engine runs (the flows poll their contexts) —
 	// the lever that keeps shutdown bounded even with -timeout 0.

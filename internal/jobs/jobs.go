@@ -38,6 +38,10 @@ const (
 	Done     State = "done"
 	Failed   State = "failed"
 	Canceled State = "canceled"
+	// Interrupted marks a job recovered from a crash that caught it
+	// mid-run: not queued, not running, waiting for a Requeue (the retry
+	// backoff timer) or a Cancel. Non-terminal.
+	Interrupted State = "interrupted"
 )
 
 // Terminal reports whether the state is final.
@@ -62,6 +66,25 @@ var ErrBacklogFull = errors.New("jobs: backlog full")
 // ErrClosed is returned by Submit after Close.
 var ErrClosed = errors.New("jobs: manager closed")
 
+// EventOp labels a lifecycle transition reported to the Observer.
+type EventOp string
+
+const (
+	EventSubmit   EventOp = "submit"
+	EventStart    EventOp = "start"
+	EventDone     EventOp = "done"
+	EventFailed   EventOp = "failed"
+	EventCanceled EventOp = "canceled"
+)
+
+// Event is one lifecycle transition: the operation plus the job's
+// snapshot at that instant (a start event's Attempts is the attempt
+// number just begun).
+type Event struct {
+	Op  EventOp
+	Job Snapshot
+}
+
 // Config configures a Manager. The zero value is usable: 2 workers, a
 // 256-job backlog, 15-minute result retention.
 type Config struct {
@@ -72,6 +95,16 @@ type Config struct {
 	// ResultTTL bounds how long a terminal job (and thus its result)
 	// stays observable (default 15 minutes).
 	ResultTTL time.Duration
+	// Observer, when non-nil, receives every client-visible lifecycle
+	// transition (submit, start, done, failed, canceled) synchronously
+	// while the manager lock is held — a Submit does not return until
+	// the observer has seen (and, for a persistence layer, durably
+	// recorded) the submission. The observer must be fast and must not
+	// call back into the Manager. Restore* calls and the mass-cancel of
+	// Close emit no events: recovery replays history rather than making
+	// it, and shutdown is not a job outcome — both would otherwise
+	// poison the journal against the next restart.
+	Observer func(Event)
 }
 
 func (c Config) withDefaults() Config {
@@ -97,9 +130,10 @@ type Stats struct {
 	Canceled int64 `json:"canceled"`
 	// Shed counts submissions rejected by the backlog bound.
 	Shed int64 `json:"shed"`
-	// Queued and Running are gauges of the live population.
-	Queued  int `json:"queued"`
-	Running int `json:"running"`
+	// Queued, Running and Interrupted are gauges of the live population.
+	Queued      int `json:"queued"`
+	Running     int `json:"running"`
+	Interrupted int `json:"interrupted"`
 }
 
 // Snapshot is a point-in-time view of one job.
@@ -118,7 +152,10 @@ type Snapshot struct {
 	Err error
 	// Task is the submitted task, so callers can recover results the
 	// task stored in its own fields.
-	Task     Task
+	Task Task
+	// Attempts counts executions begun (including interrupted ones
+	// recovered from a previous process lifetime).
+	Attempts int
 	Created  time.Time
 	Started  time.Time
 	Finished time.Time
@@ -136,6 +173,7 @@ type job struct {
 	finished time.Time
 	progress any
 	err      error
+	attempts int
 	cancel   context.CancelFunc
 	watchers []chan struct{}
 }
@@ -204,8 +242,100 @@ func (m *Manager) Submit(tenant string, priority int, task Task) (Snapshot, erro
 	m.byID[j.id] = j
 	m.queue.push(j)
 	m.submitted++
+	m.emitLocked(EventSubmit, j)
 	m.cond.Signal()
 	return m.snapshotLocked(j), nil
+}
+
+// RestoreQueued re-creates a recovered job in the queue under its
+// original ID, tenant, priority and spent-attempt count, bypassing the
+// backlog bound (the job was already accepted in a previous process
+// lifetime). No observer event is emitted. Fails on a duplicate ID or
+// a closed manager.
+func (m *Manager) RestoreQueued(id, tenant string, priority, attempts int, task Task) (Snapshot, error) {
+	return m.restore(id, tenant, priority, attempts, task, Queued, nil)
+}
+
+// RestoreInterrupted re-creates a recovered mid-run job under its
+// original identity in the Interrupted state: present and observable,
+// but not queued — the caller requeues it (Requeue) when its retry
+// backoff expires, or fails/cancels it. No observer event is emitted.
+func (m *Manager) RestoreInterrupted(id, tenant string, priority, attempts int, task Task) (Snapshot, error) {
+	return m.restore(id, tenant, priority, attempts, task, Interrupted, nil)
+}
+
+// RestoreFailed re-creates a recovered job directly in the Failed
+// terminal state (retry budget exhausted, or its request no longer
+// decodes), so clients polling the old ID get a definitive answer
+// instead of a 404. No observer event is emitted.
+func (m *Manager) RestoreFailed(id, tenant string, priority int, err error) (Snapshot, error) {
+	return m.restore(id, tenant, priority, 0, nil, Failed, err)
+}
+
+func (m *Manager) restore(id, tenant string, priority, attempts int, task Task, st State, jerr error) (Snapshot, error) {
+	if id == "" {
+		return Snapshot{}, errors.New("jobs: restore: empty id")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return Snapshot{}, ErrClosed
+	}
+	if _, dup := m.byID[id]; dup {
+		return Snapshot{}, fmt.Errorf("jobs: restore: duplicate id %q", id)
+	}
+	// Keep the ID generator ahead of every restored ID so new
+	// submissions never collide with recovered ones.
+	var n int64
+	if _, err := fmt.Sscanf(id, "j%d", &n); err == nil && n > m.seq {
+		m.seq = n
+	}
+	now := time.Now()
+	j := &job{
+		id:       id,
+		tenant:   tenant,
+		priority: priority,
+		task:     task,
+		state:    st,
+		created:  now,
+		attempts: attempts,
+		err:      jerr,
+	}
+	m.byID[id] = j
+	switch st {
+	case Queued:
+		m.queue.push(j)
+		m.submitted++
+		m.cond.Signal()
+	case Interrupted:
+		m.submitted++
+	case Failed:
+		m.submitted++
+		m.failed++
+		j.finished = now
+	default:
+		delete(m.byID, id)
+		return Snapshot{}, fmt.Errorf("jobs: restore: unsupported state %q", st)
+	}
+	return m.snapshotLocked(j), nil
+}
+
+// Requeue moves an Interrupted job back into the queue (its retry
+// backoff expired), bypassing the backlog bound. It emits no observer
+// event — the job's submit record is already durable. ok is false for
+// unknown IDs or jobs not currently interrupted.
+func (m *Manager) Requeue(id string) (Snapshot, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, exists := m.byID[id]
+	if !exists || j.state != Interrupted || m.closed {
+		return Snapshot{}, false
+	}
+	j.state = Queued
+	m.queue.push(j)
+	m.notifyLocked(j)
+	m.cond.Signal()
+	return m.snapshotLocked(j), true
 }
 
 // Get returns the job's current snapshot; ok is false for unknown (or
@@ -236,6 +366,8 @@ func (m *Manager) Cancel(id string) (Snapshot, bool) {
 		m.queue.remove(j)
 		m.finishLocked(j, Canceled, nil)
 		m.notifyQueuedLocked()
+	case Interrupted:
+		m.finishLocked(j, Canceled, nil)
 	case Running:
 		// The worker observes the terminal state when the task returns
 		// and leaves it alone; the job is canceled from the caller's
@@ -279,14 +411,21 @@ func (m *Manager) Watch(id string) (notify <-chan struct{}, stop func(), ok bool
 func (m *Manager) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	interrupted := 0
+	for _, j := range m.byID {
+		if j.state == Interrupted {
+			interrupted++
+		}
+	}
 	return Stats{
-		Submitted: m.submitted,
-		Done:      m.done,
-		Failed:    m.failed,
-		Canceled:  m.canceled,
-		Shed:      m.shed,
-		Queued:    m.queue.len(),
-		Running:   m.running,
+		Submitted:   m.submitted,
+		Done:        m.done,
+		Failed:      m.failed,
+		Canceled:    m.canceled,
+		Shed:        m.shed,
+		Queued:      m.queue.len(),
+		Running:     m.running,
+		Interrupted: interrupted,
 	}
 }
 
@@ -301,8 +440,17 @@ func (m *Manager) Close() {
 		return
 	}
 	m.closed = true
+	// Shutdown cancels silently (no observer events): these jobs are not
+	// canceled as an outcome, they are waiting for the next process
+	// lifetime — journaling a terminal record here would stop recovery
+	// from requeuing them.
 	for j := m.queue.pop(); j != nil; j = m.queue.pop() {
-		m.finishLocked(j, Canceled, nil)
+		m.finishQuietLocked(j, Canceled, nil)
+	}
+	for _, j := range m.byID {
+		if j.state == Interrupted {
+			m.finishQuietLocked(j, Canceled, nil)
+		}
 	}
 	m.cond.Broadcast()
 	m.mu.Unlock()
@@ -328,7 +476,9 @@ func (m *Manager) worker() {
 		j.cancel = cancel
 		j.state = Running
 		j.started = time.Now()
+		j.attempts++
 		m.running++
+		m.emitLocked(EventStart, j)
 		m.notifyLocked(j)
 		// Every job behind the popped one moved up a slot.
 		m.notifyQueuedLocked()
@@ -342,14 +492,20 @@ func (m *Manager) worker() {
 			// Cancel (or Close) may have already finished the job; its
 			// late return changes nothing then.
 			m.running--
+			finish := m.finishLocked
+			if m.closed {
+				// Shutdown unwound the task: not a job outcome. Journaling
+				// it would stop recovery from retrying the job.
+				finish = m.finishQuietLocked
+			}
 			if err == nil {
-				m.finishLocked(j, Done, nil)
+				finish(j, Done, nil)
 			} else if errors.Is(err, context.Canceled) {
 				// Canceled under the task without a Cancel call — the
 				// manager shutting down mid-run.
-				m.finishLocked(j, Canceled, nil)
+				finish(j, Canceled, nil)
 			} else {
-				m.finishLocked(j, Failed, err)
+				finish(j, Failed, err)
 			}
 		}
 		m.mu.Unlock()
@@ -375,10 +531,25 @@ func (m *Manager) publish(j *job, v any) {
 	m.notifyLocked(j)
 }
 
-// finishLocked moves a job to a terminal state and bumps the matching
-// counter. Callers hold m.mu and guarantee the job is not yet
-// terminal.
+// finishLocked moves a job to a terminal state, bumps the matching
+// counter and reports the transition to the observer. Callers hold
+// m.mu and guarantee the job is not yet terminal.
 func (m *Manager) finishLocked(j *job, st State, err error) {
+	m.finishQuietLocked(j, st, err)
+	switch st {
+	case Done:
+		m.emitLocked(EventDone, j)
+	case Failed:
+		m.emitLocked(EventFailed, j)
+	case Canceled:
+		m.emitLocked(EventCanceled, j)
+	}
+}
+
+// finishQuietLocked is finishLocked without the observer event — for
+// shutdown, where mass-cancellation must not be journaled as job
+// outcomes.
+func (m *Manager) finishQuietLocked(j *job, st State, err error) {
 	j.state = st
 	j.err = err
 	j.finished = time.Now()
@@ -391,6 +562,14 @@ func (m *Manager) finishLocked(j *job, st State, err error) {
 		m.canceled++
 	}
 	m.notifyLocked(j)
+}
+
+// emitLocked reports a lifecycle transition to the configured
+// observer, synchronously under m.mu.
+func (m *Manager) emitLocked(op EventOp, j *job) {
+	if m.cfg.Observer != nil {
+		m.cfg.Observer(Event{Op: op, Job: m.snapshotLocked(j)})
+	}
 }
 
 // notifyLocked pokes a job's watchers (non-blocking: each channel
@@ -428,23 +607,35 @@ func (m *Manager) snapshotLocked(j *job) Snapshot {
 		Progress: j.progress,
 		Err:      j.err,
 		Task:     j.task,
+		Attempts: j.attempts,
 		Created:  j.created,
 		Started:  j.started,
 		Finished: j.finished,
 	}
 }
 
-// janitor purges terminal jobs past their ResultTTL.
-func (m *Manager) janitor() {
-	defer m.wg.Done()
-	interval := m.cfg.ResultTTL / 4
-	if interval < 10*time.Millisecond {
-		interval = 10 * time.Millisecond
+// minJanitorInterval floors the purge cadence: a pathologically small
+// ResultTTL (a misconfigured flag, a test) must not turn the janitor
+// into a busy loop that contends the manager lock against real work.
+const minJanitorInterval = 100 * time.Millisecond
+
+// janitorInterval derives the purge cadence from the TTL: a quarter of
+// it, clamped to [minJanitorInterval, 1min].
+func janitorInterval(ttl time.Duration) time.Duration {
+	interval := ttl / 4
+	if interval < minJanitorInterval {
+		interval = minJanitorInterval
 	}
 	if interval > time.Minute {
 		interval = time.Minute
 	}
-	ticker := time.NewTicker(interval)
+	return interval
+}
+
+// janitor purges terminal jobs past their ResultTTL.
+func (m *Manager) janitor() {
+	defer m.wg.Done()
+	ticker := time.NewTicker(janitorInterval(m.cfg.ResultTTL))
 	defer ticker.Stop()
 	for {
 		select {

@@ -1,0 +1,256 @@
+package persist
+
+import (
+	"errors"
+	"io/fs"
+	"sync"
+)
+
+// MemFS is an in-memory FS for tests and harnesses: deterministic,
+// race-safe, and shareable across simulated process lifetimes — two
+// "server processes" handed the same *MemFS see each other's files
+// exactly as two real processes would share a disk.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string][]byte
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS { return &MemFS{files: make(map[string][]byte)} }
+
+func (m *MemFS) MkdirAll(path string) error { return nil }
+
+func (m *MemFS) ReadFile(path string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.files[path]
+	if !ok {
+		return nil, &fs.PathError{Op: "open", Path: path, Err: fs.ErrNotExist}
+	}
+	return append([]byte(nil), data...), nil
+}
+
+func (m *MemFS) WriteFile(path string, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.files[path] = append([]byte(nil), data...)
+	return nil
+}
+
+func (m *MemFS) Rename(oldpath, newpath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.files[oldpath]
+	if !ok {
+		return &fs.PathError{Op: "rename", Path: oldpath, Err: fs.ErrNotExist}
+	}
+	m.files[newpath] = data
+	delete(m.files, oldpath)
+	return nil
+}
+
+func (m *MemFS) Remove(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.files, path)
+	return nil
+}
+
+func (m *MemFS) OpenAppend(path string) (AppendFile, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[path]; !ok {
+		m.files[path] = nil
+	}
+	return &memAppend{fs: m, path: path}, nil
+}
+
+// Corrupt mutates one byte of the named file — the bit-flip injector.
+// Reports false if the file is missing or shorter than off+1.
+func (m *MemFS) Corrupt(path string, off int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.files[path]
+	if !ok || off >= len(data) {
+		return false
+	}
+	data[off] ^= 0x40
+	return true
+}
+
+// Truncate cuts the named file to n bytes — the torn-write injector.
+func (m *MemFS) Truncate(path string, n int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.files[path]
+	if !ok || n > len(data) {
+		return false
+	}
+	m.files[path] = data[:n]
+	return true
+}
+
+// Len returns the named file's size, or -1 if absent.
+func (m *MemFS) Len(path string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.files[path]
+	if !ok {
+		return -1
+	}
+	return len(data)
+}
+
+type memAppend struct {
+	fs     *MemFS
+	path   string
+	closed bool
+}
+
+func (f *memAppend) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return 0, errors.New("memfs: write on closed file")
+	}
+	f.fs.files[f.path] = append(f.fs.files[f.path], p...)
+	return len(p), nil
+}
+
+func (f *memAppend) Sync() error { return nil }
+
+func (f *memAppend) Close() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	f.closed = true
+	return nil
+}
+
+// ErrNoSpace is the injected ENOSPC of FaultFS byte budgets.
+var ErrNoSpace = errors.New("persist: no space left on device (injected)")
+
+// FaultFS wraps an FS with injectable failures — the chaos seam. Every
+// knob is settable at any time; the zero knobs pass everything
+// through.
+type FaultFS struct {
+	Inner FS
+
+	mu         sync.Mutex
+	writeErr   error // WriteFile failures
+	appendErr  error // writes through open append handles
+	renameErr  error // Rename failures
+	readErr    error // ReadFile failures
+	openErr    error // OpenAppend failures
+	byteBudget int64 // < 0 means unlimited; hitting 0 yields ErrNoSpace
+}
+
+// NewFaultFS wraps inner with no faults armed and an unlimited byte
+// budget.
+func NewFaultFS(inner FS) *FaultFS { return &FaultFS{Inner: inner, byteBudget: -1} }
+
+// FailWrites arms (or with nil disarms) WriteFile failures.
+func (f *FaultFS) FailWrites(err error) { f.mu.Lock(); f.writeErr = err; f.mu.Unlock() }
+
+// FailAppends arms (or disarms) failures of writes through append
+// handles, including handles opened before the call.
+func (f *FaultFS) FailAppends(err error) { f.mu.Lock(); f.appendErr = err; f.mu.Unlock() }
+
+// FailRenames arms (or disarms) Rename failures.
+func (f *FaultFS) FailRenames(err error) { f.mu.Lock(); f.renameErr = err; f.mu.Unlock() }
+
+// FailReads arms (or disarms) ReadFile failures.
+func (f *FaultFS) FailReads(err error) { f.mu.Lock(); f.readErr = err; f.mu.Unlock() }
+
+// FailOpens arms (or disarms) OpenAppend failures.
+func (f *FaultFS) FailOpens(err error) { f.mu.Lock(); f.openErr = err; f.mu.Unlock() }
+
+// SetByteBudget allots n further written bytes across WriteFile and
+// append handles; writes beyond it fail with ErrNoSpace (n < 0 removes
+// the limit). A WriteFile that exceeds the remaining budget writes
+// nothing — the injected disk is out of space, not torn.
+func (f *FaultFS) SetByteBudget(n int64) { f.mu.Lock(); f.byteBudget = n; f.mu.Unlock() }
+
+func (f *FaultFS) charge(n int) error {
+	if f.byteBudget < 0 {
+		return nil
+	}
+	if int64(n) > f.byteBudget {
+		f.byteBudget = 0
+		return ErrNoSpace
+	}
+	f.byteBudget -= int64(n)
+	return nil
+}
+
+func (f *FaultFS) MkdirAll(path string) error { return f.Inner.MkdirAll(path) }
+
+func (f *FaultFS) ReadFile(path string) ([]byte, error) {
+	f.mu.Lock()
+	err := f.readErr
+	f.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return f.Inner.ReadFile(path)
+}
+
+func (f *FaultFS) WriteFile(path string, data []byte) error {
+	f.mu.Lock()
+	err := f.writeErr
+	if err == nil {
+		err = f.charge(len(data))
+	}
+	f.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return f.Inner.WriteFile(path, data)
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	err := f.renameErr
+	f.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return f.Inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(path string) error { return f.Inner.Remove(path) }
+
+func (f *FaultFS) OpenAppend(path string) (AppendFile, error) {
+	f.mu.Lock()
+	err := f.openErr
+	f.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	inner, ierr := f.Inner.OpenAppend(path)
+	if ierr != nil {
+		return nil, ierr
+	}
+	return &faultAppend{fs: f, inner: inner}, nil
+}
+
+type faultAppend struct {
+	fs    *FaultFS
+	inner AppendFile
+}
+
+func (a *faultAppend) Write(p []byte) (int, error) {
+	a.fs.mu.Lock()
+	err := a.fs.appendErr
+	if err == nil {
+		err = a.fs.charge(len(p))
+	}
+	a.fs.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	return a.inner.Write(p)
+}
+
+func (a *faultAppend) Sync() error { return a.inner.Sync() }
+
+func (a *faultAppend) Close() error { return a.inner.Close() }

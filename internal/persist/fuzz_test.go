@@ -1,0 +1,61 @@
+package persist
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzSnapshotDecode: arbitrary bytes fed to both decoders must never
+// panic, must fail only with the typed errors (*FormatError /
+// *CorruptError), and must never return a snapshot record whose digest
+// does not verify against its program bytes — the property that makes
+// rewarm-from-disk safe against any corruption the disk can produce.
+func FuzzSnapshotDecode(f *testing.F) {
+	clean, err := EncodeSnapshot([]SnapshotRecord{
+		{Digest: DigestBytes([]byte(`{"name":"a"}`)), Program: []byte(`{"name":"a"}`)},
+		{Digest: DigestBytes([]byte(`{"name":"b"}`)), Program: []byte(`{"name":"b"}`)},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(clean)
+	f.Add([]byte(snapshotHeader + "\n"))
+	f.Add([]byte(journalHeader + "\n"))
+	f.Add([]byte{})
+	f.Add([]byte("mhla-snapshot v999\njunk\n"))
+	f.Add(clean[:len(clean)-5])
+	f.Add([]byte(journalHeader + "\n" + "deadbeef bm90IGJhc2U2NA==\n"))
+	f.Add(append([]byte(journalHeader+"\n"),
+		encodeRecordLine([]byte(`{"op":"submit","id":"j1","kind":"run","request_b64":"e30="}`))...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		records, err := DecodeSnapshot(data)
+		checkTypedErr(t, "DecodeSnapshot", err)
+		for i, rec := range records {
+			if rec.Digest != DigestBytes(rec.Program) {
+				t.Fatalf("DecodeSnapshot returned record %d with unverified digest %.12s", i, rec.Digest)
+			}
+		}
+		jrecords, jerr := DecodeJournal(data)
+		checkTypedErr(t, "DecodeJournal", jerr)
+		for i, rec := range jrecords {
+			if verr := rec.validate(); verr != nil {
+				t.Fatalf("DecodeJournal returned invalid record %d: %v", i, verr)
+			}
+		}
+		// Replay must digest whatever the decoder let through.
+		_ = Replay(jrecords)
+	})
+}
+
+func checkTypedErr(t *testing.T, fn string, err error) {
+	t.Helper()
+	if err == nil {
+		return
+	}
+	var fe *FormatError
+	var ce *CorruptError
+	if !errors.As(err, &fe) && !errors.As(err, &ce) {
+		t.Fatalf("%s returned untyped error %T: %v", fn, err, err)
+	}
+}

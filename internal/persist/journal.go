@@ -1,0 +1,275 @@
+package persist
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// journalHeader is the first line of every journal file.
+const journalHeader = "mhla-journal v1"
+
+// Journal record ops. A job's journal story is one submit, then zero
+// or more start records (one per execution attempt), then at most one
+// terminal record. Replay reduces the story to the job's fate: a
+// terminal record ends it; a start without a terminal means the
+// process died mid-run (the job is interrupted); a submit alone means
+// the job never left the queue.
+const (
+	OpSubmit   = "submit"
+	OpStart    = "start"
+	OpDone     = "done"
+	OpFailed   = "failed"
+	OpCanceled = "canceled"
+)
+
+// JournalRecord is one journal line's payload.
+type JournalRecord struct {
+	Op string `json:"op"`
+	ID string `json:"id"`
+	// Submit fields.
+	Tenant   string `json:"tenant,omitempty"`
+	Priority int    `json:"priority,omitempty"`
+	Kind     string `json:"kind,omitempty"`
+	Request  []byte `json:"request_b64,omitempty"` // raw compute-request JSON
+	// Attempts: on a start record, the attempt number just begun
+	// (1-based). On a compacted submit record, the attempts already
+	// spent before the compaction (so a re-crash keeps counting).
+	Attempt int `json:"attempt,omitempty"`
+}
+
+func (r JournalRecord) terminal() bool {
+	return r.Op == OpDone || r.Op == OpFailed || r.Op == OpCanceled
+}
+
+// validate rejects payloads that decoded as JSON but do not describe a
+// journal record.
+func (r JournalRecord) validate() error {
+	switch r.Op {
+	case OpSubmit:
+		if r.ID == "" || r.Kind == "" || len(r.Request) == 0 {
+			return fmt.Errorf("submit record missing id, kind or request")
+		}
+	case OpStart, OpDone, OpFailed, OpCanceled:
+		if r.ID == "" {
+			return fmt.Errorf("%s record missing id", r.Op)
+		}
+	default:
+		return fmt.Errorf("unknown op %.20q", r.Op)
+	}
+	return nil
+}
+
+// DecodeJournal parses journal file bytes: the verified record prefix
+// plus a typed error when anything beyond it was damaged. A torn final
+// line is the normal crash artifact of an append-only file — the
+// prefix is exactly the durable history. Never panics.
+func DecodeJournal(data []byte) ([]JournalRecord, error) {
+	lines, partial := splitLines(data)
+	if len(lines) == 0 {
+		return nil, &FormatError{Path: "journal", Msg: "missing header"}
+	}
+	if string(lines[0]) != journalHeader {
+		return nil, &FormatError{Path: "journal",
+			Msg: fmt.Sprintf("unrecognized header %.40q (want %q)", string(lines[0]), journalHeader)}
+	}
+	var records []JournalRecord
+	for i, line := range lines[1:] {
+		if len(line) == 0 {
+			continue
+		}
+		payload, err := decodeRecordLine(line)
+		if err == nil {
+			var rec JournalRecord
+			if jerr := json.Unmarshal(payload, &rec); jerr != nil {
+				err = fmt.Errorf("malformed record payload: %v", jerr)
+			} else if verr := rec.validate(); verr != nil {
+				err = verr
+			} else {
+				records = append(records, rec)
+				continue
+			}
+		}
+		// A damaged record ends the trusted history: appends are
+		// ordered, so everything after it was written later by a writer
+		// already proven unreliable.
+		return records, &CorruptError{Path: "journal", Line: i + 2,
+			Msg: err.Error(), Dropped: len(lines[1:]) - i}
+	}
+	if len(partial) > 0 {
+		return records, &CorruptError{Path: "journal", Line: len(lines) + 1,
+			Msg: "truncated trailing record (torn write)", Dropped: 1}
+	}
+	return records, nil
+}
+
+// RecoveredJob is one live job reconstructed by Replay, in original
+// submission order.
+type RecoveredJob struct {
+	ID       string
+	Tenant   string
+	Priority int
+	Kind     string
+	Request  []byte
+	// Interrupted reports the job had started (at least one start
+	// record) but never reached a terminal record: the crash caught it
+	// mid-run.
+	Interrupted bool
+	// Attempts counts the executions already begun.
+	Attempts int
+}
+
+// Replay reduces a journal to its live jobs: submissions without a
+// terminal record, in submission order, each knowing whether it was
+// mid-run and how many attempts it has consumed. Records referencing
+// unknown IDs (a compaction race, a corrupt prefix) are ignored;
+// duplicate submissions keep the first.
+func Replay(records []JournalRecord) []RecoveredJob {
+	byID := make(map[string]*RecoveredJob)
+	var order []*RecoveredJob
+	terminal := make(map[string]bool)
+	for _, rec := range records {
+		switch rec.Op {
+		case OpSubmit:
+			if byID[rec.ID] != nil || terminal[rec.ID] {
+				continue
+			}
+			j := &RecoveredJob{
+				ID:       rec.ID,
+				Tenant:   rec.Tenant,
+				Priority: rec.Priority,
+				Kind:     rec.Kind,
+				Request:  rec.Request,
+				Attempts: rec.Attempt,
+			}
+			if rec.Attempt > 0 {
+				// A compacted submit carrying spent attempts: the job was
+				// already interrupted at least once before the compaction.
+				j.Interrupted = true
+			}
+			byID[rec.ID] = j
+			order = append(order, j)
+		case OpStart:
+			if j := byID[rec.ID]; j != nil {
+				j.Interrupted = true
+				if rec.Attempt > j.Attempts {
+					j.Attempts = rec.Attempt
+				} else {
+					j.Attempts++
+				}
+			}
+		case OpDone, OpFailed, OpCanceled:
+			terminal[rec.ID] = true
+			delete(byID, rec.ID)
+		}
+	}
+	live := make([]RecoveredJob, 0, len(byID))
+	for _, j := range order {
+		if byID[j.ID] == j {
+			live = append(live, *j)
+		}
+	}
+	return live
+}
+
+// Journal is an open append-only journal. Append serializes, frames,
+// writes and syncs one record before returning, so an acknowledged
+// record survives a crash immediately after. Safe for concurrent use.
+type Journal struct {
+	mu sync.Mutex
+	f  AppendFile
+}
+
+// OpenJournal opens (creating if missing) the journal in dir for
+// appending. A fresh file gets its header first.
+func OpenJournal(fsys FS, dir string) (*Journal, error) {
+	path := JournalPath(dir)
+	needHeader := false
+	if _, err := fsys.ReadFile(path); err != nil {
+		if !IsNotExist(err) {
+			return nil, fmt.Errorf("persist: open journal: %w", err)
+		}
+		needHeader = true
+	}
+	f, err := fsys.OpenAppend(path)
+	if err != nil {
+		return nil, fmt.Errorf("persist: open journal: %w", err)
+	}
+	j := &Journal{f: f}
+	if needHeader {
+		if _, err := f.Write(append([]byte(journalHeader), '\n')); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("persist: write journal header: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("persist: sync journal header: %w", err)
+		}
+	}
+	return j, nil
+}
+
+// Append durably appends one record: framed, written, synced.
+func (j *Journal) Append(rec JournalRecord) error {
+	if err := rec.validate(); err != nil {
+		return fmt.Errorf("persist: append: %w", err)
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("persist: append: %w", err)
+	}
+	line := encodeRecordLine(payload)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("persist: append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("persist: append sync: %w", err)
+	}
+	return nil
+}
+
+// Close closes the underlying file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// CompactJournal atomically rewrites the journal in dir to exactly the
+// given live jobs — one submit record each, carrying their spent
+// attempts — and opens the compacted file for appending. Recovery runs
+// it after replay so the journal stays proportional to the live
+// backlog instead of growing with all-time traffic. The rewrite is
+// write-temp-then-rename, so a crash mid-compaction leaves the old
+// journal intact.
+func CompactJournal(fsys FS, dir string, live []RecoveredJob) (*Journal, error) {
+	data := append([]byte(journalHeader), '\n')
+	for _, j := range live {
+		rec := JournalRecord{
+			Op:       OpSubmit,
+			ID:       j.ID,
+			Tenant:   j.Tenant,
+			Priority: j.Priority,
+			Kind:     j.Kind,
+			Request:  j.Request,
+			Attempt:  j.Attempts,
+		}
+		payload, err := json.Marshal(rec)
+		if err != nil {
+			return nil, fmt.Errorf("persist: compact journal: %w", err)
+		}
+		data = append(data, encodeRecordLine(payload)...)
+	}
+	tmp := journalTmpPath(dir)
+	if err := fsys.WriteFile(tmp, data); err != nil {
+		fsys.Remove(tmp)
+		return nil, fmt.Errorf("persist: compact journal: %w", err)
+	}
+	if err := fsys.Rename(tmp, JournalPath(dir)); err != nil {
+		fsys.Remove(tmp)
+		return nil, fmt.Errorf("persist: publish compacted journal: %w", err)
+	}
+	return OpenJournal(fsys, dir)
+}

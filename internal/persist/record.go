@@ -1,0 +1,110 @@
+package persist
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// Record framing shared by snapshots and journals: a one-line text
+// header naming the artifact and format version, then one record per
+// line as
+//
+//	<sha256 hex of payload> <standard base64 of payload>\n
+//
+// The base64 wrapping makes line framing unambiguous (payloads never
+// contain newlines on the wire, whatever bytes they carry) and the
+// per-record checksum makes every form of corruption — a torn tail, a
+// bit flip, an editor accident — detectable record by record, so a
+// decoder can salvage the valid prefix of a damaged file instead of
+// choosing between trusting garbage and discarding everything.
+
+// FormatError reports a file whose header is missing, foreign or of an
+// unsupported version — the whole artifact is untrusted.
+type FormatError struct {
+	Path string // artifact kind ("snapshot", "journal"); not a filesystem path
+	Msg  string
+}
+
+func (e *FormatError) Error() string {
+	return fmt.Sprintf("persist: %s format: %s", e.Path, e.Msg)
+}
+
+// CorruptError reports damaged records inside a structurally valid
+// file. Decoders return it alongside the records that did verify: the
+// caller keeps the valid data and logs the loss.
+type CorruptError struct {
+	Path string // artifact kind ("snapshot", "journal")
+	// Line is the 1-based line number of the first damaged record.
+	Line int
+	Msg  string
+	// Dropped counts records (or partial lines) discarded.
+	Dropped int
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("persist: corrupt %s: line %d: %s (%d record(s) dropped)",
+		e.Path, e.Line, e.Msg, e.Dropped)
+}
+
+// encodeRecordLine frames one payload: checksum, space, base64,
+// newline.
+func encodeRecordLine(payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	line := make([]byte, 0, len(payload)*4/3+sha256.Size*2+8)
+	line = append(line, hex.EncodeToString(sum[:])...)
+	line = append(line, ' ')
+	n := base64.StdEncoding.EncodedLen(len(payload))
+	off := len(line)
+	line = append(line, make([]byte, n)...)
+	base64.StdEncoding.Encode(line[off:], payload)
+	return append(line, '\n')
+}
+
+// decodeRecordLine unframes one line, verifying the checksum.
+func decodeRecordLine(line []byte) ([]byte, error) {
+	sumHex, b64, ok := strings.Cut(string(line), " ")
+	if !ok {
+		return nil, fmt.Errorf("no checksum separator")
+	}
+	want, err := hex.DecodeString(sumHex)
+	if err != nil || len(want) != sha256.Size {
+		return nil, fmt.Errorf("malformed checksum")
+	}
+	payload, err := base64.StdEncoding.DecodeString(b64)
+	if err != nil {
+		return nil, fmt.Errorf("malformed payload encoding: %v", err)
+	}
+	sum := sha256.Sum256(payload)
+	if !bytes.Equal(sum[:], want) {
+		return nil, fmt.Errorf("checksum mismatch")
+	}
+	return payload, nil
+}
+
+// splitLines splits data into newline-terminated lines plus a trailing
+// partial line ("" if the data ends cleanly).
+func splitLines(data []byte) (lines [][]byte, partial []byte) {
+	for len(data) > 0 {
+		i := bytes.IndexByte(data, '\n')
+		if i < 0 {
+			return lines, data
+		}
+		lines = append(lines, data[:i])
+		data = data[i+1:]
+	}
+	return lines, nil
+}
+
+// DigestBytes returns the hex SHA-256 of the given bytes — the same
+// digest modelio.ProgramDigest computes over a program's canonical
+// encoding, exposed here so snapshot verification can check stored
+// canonical bytes against their recorded digest without rebuilding the
+// program.
+func DigestBytes(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,72 @@
+package persist
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// RetryPolicy bounds the re-execution of interrupted jobs after a
+// crash: exponential backoff with full-range jitter, capped delay,
+// capped attempts. The backoff is what keeps a job that crashes its
+// worker from turning a restarting server into a crash loop — each
+// rebirth waits longer before touching the poison pill again, and
+// after MaxAttempts executions the job is declared failed instead of
+// being retried forever.
+type RetryPolicy struct {
+	// MaxAttempts caps total executions (default 3): a job interrupted
+	// with MaxAttempts attempts already spent is failed, not requeued.
+	MaxAttempts int
+	// BaseDelay is the backoff scale before the first retry (default
+	// 500ms); attempt n waits about BaseDelay * 2^(n-1), jittered.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 30s).
+	MaxDelay time.Duration
+}
+
+// WithDefaults fills zero fields.
+func (p RetryPolicy) WithDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 500 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 30 * time.Second
+	}
+	if p.MaxDelay < p.BaseDelay {
+		p.MaxDelay = p.BaseDelay
+	}
+	return p
+}
+
+// jitterMu guards the package rand source (the global math/rand source
+// is also safe, but a dedicated source keeps this independent of any
+// deterministic seeding a test does elsewhere).
+var (
+	jitterMu  sync.Mutex
+	jitterSrc = rand.New(rand.NewSource(time.Now().UnixNano()))
+)
+
+// Delay returns the jittered backoff before re-executing a job that
+// has already spent the given number of attempts (>= 1). The value is
+// uniform in [d/2, d] where d = min(BaseDelay * 2^(attempts-1),
+// MaxDelay) — always positive, never above MaxDelay.
+func (p RetryPolicy) Delay(attempts int) time.Duration {
+	p = p.WithDefaults()
+	if attempts < 1 {
+		attempts = 1
+	}
+	d := p.BaseDelay
+	for i := 1; i < attempts && d < p.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	jitterMu.Lock()
+	f := jitterSrc.Float64()
+	jitterMu.Unlock()
+	return d/2 + time.Duration(f*float64(d/2))
+}

@@ -81,6 +81,12 @@ type serverTask struct {
 	s    *Server
 	wk   work
 	body []byte
+	// jobKind and jobRaw are the submission's kind plus raw nested
+	// request bytes — what the persistence journal records, so a
+	// restarted server can rebuild the work value through the same
+	// buildWork path the original submission used.
+	jobKind string
+	jobRaw  json.RawMessage
 }
 
 func (t *serverTask) Run(ctx context.Context, publish func(progress any)) error {
@@ -265,13 +271,20 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		apiErr.write(w)
 		return
 	}
-	st, err := s.jobs.Submit(tenantOf(r), priority, &serverTask{s: s, wk: wk})
+	st, err := s.jobs.Submit(tenantOf(r), priority, &serverTask{s: s, wk: wk, jobKind: req.Kind, jobRaw: req.Request})
 	if err != nil {
 		if errors.Is(err, jobs.ErrBacklogFull) {
 			// Same shedding contract as the intake pool: 429 plus a
-			// Retry-After hint so well-behaved clients back off.
+			// Retry-After derived from the backlog depth and the observed
+			// job drain rate, so clients back off for as long as the
+			// queue ahead of them will actually take.
+			workers := s.cfg.JobWorkers
+			if workers <= 0 {
+				workers = 2 // the job manager's default pool size
+			}
+			hint := retryAfterSeconds(s.jobs.Stats().Queued, s.jobRate.perSec(time.Now()), float64(workers))
 			(&apiError{status: http.StatusTooManyRequests, code: "backlog_full",
-				msg: "job backlog full; retry later", retryAfter: 2}).write(w)
+				msg: "job backlog full; retry later", retryAfter: hint}).write(w)
 			return
 		}
 		(&apiError{status: http.StatusServiceUnavailable, code: "shutting_down",

@@ -1,0 +1,88 @@
+package server
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// rateWindow is the sliding window over which completion rates are
+// measured for Retry-After hints.
+const rateWindow = 30 * time.Second
+
+// rateTracker measures a recent completion rate from a ring of
+// completion timestamps. It exists so load-shedding responses can
+// carry a Retry-After derived from how fast the backlog actually
+// drains, instead of a hardcoded guess: a shed under a deep, slow
+// backlog tells clients to stay away longer than a shed under a
+// momentary blip.
+type rateTracker struct {
+	mu    sync.Mutex
+	times [64]time.Time
+	n     int // filled entries, <= len(times)
+	idx   int // next write position
+}
+
+// note records one completion at the given instant.
+func (t *rateTracker) note(now time.Time) {
+	t.mu.Lock()
+	t.times[t.idx] = now
+	t.idx = (t.idx + 1) % len(t.times)
+	if t.n < len(t.times) {
+		t.n++
+	}
+	t.mu.Unlock()
+}
+
+// perSec estimates completions per second over the recent window; 0
+// means no usable signal (fewer than two recent completions).
+func (t *rateTracker) perSec(now time.Time) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cutoff := now.Add(-rateWindow)
+	count := 0
+	oldest := now
+	for i := 0; i < t.n; i++ {
+		ts := t.times[i]
+		if ts.After(cutoff) {
+			count++
+			if ts.Before(oldest) {
+				oldest = ts
+			}
+		}
+	}
+	if count < 2 {
+		return 0
+	}
+	span := now.Sub(oldest).Seconds()
+	if span <= 0 {
+		return 0
+	}
+	return float64(count) / span
+}
+
+// retryAfterSeconds converts a backlog depth and a drain rate into a
+// Retry-After hint: the time to drain the backlog at the observed
+// rate, floored at 1s (the protocol minimum that still means
+// "back off") and capped at 60s (past that the estimate is noise and
+// clients should just probe). fallbackPerSec stands in when no rate
+// has been observed yet (a cold or idle server).
+func retryAfterSeconds(pending int, perSec, fallbackPerSec float64) int {
+	if pending < 1 {
+		pending = 1
+	}
+	if perSec <= 0 {
+		perSec = fallbackPerSec
+	}
+	if perSec <= 0 {
+		return 1
+	}
+	secs := int(math.Ceil(float64(pending) / perSec))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}

@@ -54,6 +54,7 @@ import (
 
 	"mhla/internal/apps"
 	"mhla/internal/jobs"
+	"mhla/internal/persist"
 	"mhla/pkg/mhla"
 )
 
@@ -102,6 +103,26 @@ type Config struct {
 	// JobResultTTL bounds how long a finished job (and its result)
 	// stays fetchable (default 15 minutes).
 	JobResultTTL time.Duration
+	// SnapshotDir, when set, enables crash-safety persistence: the
+	// workspace-cache key set is periodically snapshotted there (and
+	// rewarmed in the background on boot) and async job submissions and
+	// transitions are journaled, so a restart requeues the backlog
+	// instead of losing it. Empty means memory-only (the default).
+	SnapshotDir string
+	// SnapshotInterval is the snapshot flush cadence (default 10s).
+	SnapshotInterval time.Duration
+	// RetryMaxAttempts caps total executions of a job interrupted by
+	// crashes (default 3); RetryBaseDelay and RetryMaxDelay shape the
+	// jittered exponential backoff before each re-execution (defaults
+	// 500ms and 30s).
+	RetryMaxAttempts int
+	RetryBaseDelay   time.Duration
+	RetryMaxDelay    time.Duration
+	// PersistFS and PersistClock are the persistence seams (default the
+	// real filesystem and clock); tests and the chaos suite inject
+	// in-memory, faulty and manually advanced implementations.
+	PersistFS    persist.FS
+	PersistClock persist.Clock
 }
 
 func (c Config) withDefaults() Config {
@@ -117,6 +138,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxStates <= 0 {
 		c.MaxStates = 10_000_000
 	}
+	if c.SnapshotInterval <= 0 {
+		c.SnapshotInterval = 10 * time.Second
+	}
 	return c
 }
 
@@ -131,6 +155,9 @@ type Stats struct {
 	Requests int64 `json:"requests_total"`
 	// Jobs are the async job-layer counters.
 	Jobs jobs.Stats `json:"jobs"`
+	// Persist are the crash-safety layer counters (Enabled false when
+	// no snapshot directory is configured).
+	Persist PersistStats `json:"persist"`
 	// Endpoints breaks the request and error counts down per endpoint
 	// (errors are responses with a 4xx/5xx status).
 	Endpoints map[string]EndpointStats `json:"endpoints"`
@@ -166,6 +193,14 @@ type Server struct {
 	// jobs is the async execution layer behind the /v1/jobs family: a
 	// bounded worker pool fed by a tenant-fair priority queue.
 	jobs *jobs.Manager
+	// persist is the crash-safety layer (nil when no snapshot
+	// directory is configured).
+	persist *persister
+	// computeRate and jobRate observe recent compute-request and async
+	// job completions, feeding the dynamic Retry-After hints on the
+	// load-shedding paths.
+	computeRate rateTracker
+	jobRate     rateTracker
 	// endpoints maps endpoint name to its counters; the map is fixed at
 	// New (only values mutate), so reads need no lock.
 	endpoints map[string]*endpointCounter
@@ -199,11 +234,24 @@ func New(cfg Config) *Server {
 		endpoints: make(map[string]*endpointCounter),
 		catalog:   make(map[string]catalogProgram),
 	}
+	// Recovery order matters: the persister reads + replays + compacts
+	// the journal first (no job manager needed, only buildWork), the
+	// manager is then created with the journaling observer installed,
+	// and finally the recovered jobs are restored into it (silently —
+	// the compacted journal already carries them) and the background
+	// rewarm + flush loops start. The server is ready to serve from the
+	// first instant; rewarm fills the cache behind it.
+	s.persist = newPersister(s, cfg)
 	s.jobs = jobs.New(jobs.Config{
 		Workers:   cfg.JobWorkers,
 		Backlog:   cfg.JobBacklog,
 		ResultTTL: cfg.JobResultTTL,
+		Observer:  s.observeJob,
 	})
+	if s.persist != nil {
+		s.persist.restoreJobs()
+		s.persist.start(cfg.SnapshotInterval)
+	}
 	s.mux.HandleFunc("/healthz", s.count("/healthz", s.handleHealthz))
 	s.mux.HandleFunc("/v1/apps", s.count("/v1/apps", s.handleApps))
 	s.mux.HandleFunc("/v1/run", s.count("/v1/run", s.handleRun))
@@ -225,10 +273,41 @@ func New(cfg Config) *Server {
 // httptest.Server in tests).
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close stops the async job layer: queued jobs are canceled, running
-// jobs have their contexts canceled, and Close blocks until the job
-// workers exit. Call it after the HTTP server has shut down.
-func (s *Server) Close() { s.jobs.Close() }
+// Close stops the server gracefully: the async job layer first
+// (queued jobs are canceled silently — their journal records survive,
+// so a restart requeues them), then the persistence layer (final
+// snapshot flush, journal closed). Call it after the HTTP server has
+// shut down.
+func (s *Server) Close() {
+	s.jobs.Close()
+	if s.persist != nil {
+		s.persist.close()
+	}
+}
+
+// Abort simulates a crash (SIGKILL) for tests and the kill-restart
+// load generator: persistence stops instantly with no final flush and
+// no journal records for the dying jobs, then the job layer is torn
+// down — exactly the state a real kill leaves on disk.
+func (s *Server) Abort() {
+	if s.persist != nil {
+		s.persist.abort()
+	}
+	s.jobs.Close()
+}
+
+// observeJob is the jobs.Manager observer: it feeds the job drain
+// rate (for dynamic Retry-After) and journals every client-visible
+// transition when persistence is on. Runs under the manager lock.
+func (s *Server) observeJob(e jobs.Event) {
+	switch e.Op {
+	case jobs.EventDone, jobs.EventFailed, jobs.EventCanceled:
+		s.jobRate.note(time.Now())
+	}
+	if s.persist != nil {
+		s.persist.observe(e)
+	}
+}
 
 // Stats snapshots the server counters.
 func (s *Server) Stats() Stats {
@@ -238,6 +317,9 @@ func (s *Server) Stats() Stats {
 		Requests:  s.requests.Load(),
 		Jobs:      s.jobs.Stats(),
 		Endpoints: make(map[string]EndpointStats, len(s.endpoints)),
+	}
+	if s.persist != nil {
+		st.Persist = s.persist.snapshot()
 	}
 	for name, c := range s.endpoints {
 		st.Endpoints[name] = EndpointStats{Requests: c.requests.Load(), Errors: c.errors.Load()}
@@ -396,10 +478,14 @@ func (s *Server) acquireIntake(ctx context.Context) (release func(), apiErr *api
 		return idempotent(), nil
 	case <-timer.C:
 		// Deliberate load shedding (as opposed to the request dying):
-		// 429 with a Retry-After hint, so well-behaved clients back off
-		// for a beat instead of re-queueing behind the same full pool.
+		// 429 with a Retry-After derived from the backlog depth and the
+		// recently observed completion rate, so well-behaved clients
+		// back off long enough for the queue ahead of them to actually
+		// drain instead of re-queueing behind the same full pool.
+		pending := len(s.intake) + int(s.inFlight.Load())
+		hint := retryAfterSeconds(pending, s.computeRate.perSec(time.Now()), float64(s.cfg.MaxInFlight))
 		return nil, &apiError{status: http.StatusTooManyRequests, code: "overloaded",
-			msg: "intake full: timed out waiting for an intake slot", retryAfter: 1}
+			msg: "intake full: timed out waiting for an intake slot", retryAfter: hint}
 	case <-ctx.Done():
 		return nil, slotWaitError(ctx.Err(), "an intake slot")
 	}
@@ -477,6 +563,10 @@ func (s *Server) workspaceFor(prog *mhla.Program, digest string) (*mhla.Workspac
 		// input-derived (the analysis rejected it) — a client error.
 		return nil, badRequest("invalid_program", "%v", err)
 	}
+	if s.persist != nil {
+		// Record the warm key so the next process lifetime can rewarm it.
+		s.persist.touch(digest, prog)
+	}
 	return ws, nil
 }
 
@@ -535,6 +625,7 @@ func (s *Server) serveCompute(w http.ResponseWriter, r *http.Request, decode fun
 	}
 	defer release()
 	body, apiErr := wk.execute(ctx, s, s.cfg.Progress)
+	s.computeRate.note(time.Now())
 	if apiErr != nil {
 		apiErr.write(w)
 		return
