@@ -1,0 +1,78 @@
+package mhla_test
+
+// TestWriteWorkspaceSweepBench regenerates BENCH_WORKSPACE_SWEEP.json
+// from the live BenchmarkWorkspaceSweep sub-benchmarks, with the host
+// block collected automatically (internal/benchmeta) — the ROADMAP
+// rule is that every performance claim carries the host it was
+// measured on, and hand-written host blocks drift. Gated behind an
+// env var so `go test ./...` never rewrites checked-in files:
+//
+//	MHLA_BENCH_JSON=1 go test -run TestWriteWorkspaceSweepBench -timeout 1800s .
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"mhla/internal/benchmeta"
+)
+
+func TestWriteWorkspaceSweepBench(t *testing.T) {
+	if os.Getenv("MHLA_BENCH_JSON") == "" {
+		t.Skip("set MHLA_BENCH_JSON=1 to regenerate BENCH_WORKSPACE_SWEEP.json")
+	}
+	results := map[string]map[string]any{}
+	for _, c := range workspaceSweepBenches(t.Fatal) {
+		r := testing.Benchmark(c.fn)
+		entry := map[string]any{
+			"ns_per_op":     r.NsPerOp(),
+			"bytes_per_op":  r.AllocedBytesPerOp(),
+			"allocs_per_op": r.AllocsPerOp(),
+			"iterations":    r.N,
+		}
+		for metric, v := range r.Extra {
+			entry[metric] = v
+		}
+		results[c.name] = entry
+		t.Logf("%s: %v", c.name, r)
+	}
+
+	coldNs := results["bnb-fresh/workers=1"]["ns_per_op"].(int64)
+	warmNs := results["bnb-warm/workers=1"]["ns_per_op"].(int64)
+	coldStates := results["bnb-fresh/workers=1"]["bnb_states"].(float64)
+	warmStates := results["bnb-warm/workers=1"]["bnb_states"].(float64)
+	sharedNs := results["shared/workers=1"]["ns_per_op"].(int64)
+	freshNs := results["fresh/workers=1"]["ns_per_op"].(int64)
+
+	doc := map[string]any{
+		"benchmark":   "BenchmarkWorkspaceSweep",
+		"description": "Standard 17-point L1 sweep (256B..64KiB half-power ladder). Greedy family: fresh per-point flow runs (validate + reuse-analyze + program-side tables rebuilt at every sweep point) vs one compile-once workspace shared read-only by all points, on qsdpcm at paper scale. Exact family: branch-and-bound at every point on the heaviest tractable progen scenario (the paper apps are intractable for exact search) — independent cold-seeded searches vs the incremental chained sweep (ascending sizes, each point warm-started from its predecessor's re-scored optimum, sharing the workspace-cached option catalogs). Summed MHLA+TE cycles verified identical within each family on every iteration; the warm chain only shrinks the explored state count.",
+		"command":     "MHLA_BENCH_JSON=1 go test -run TestWriteWorkspaceSweepBench -timeout 1800s .",
+		"host":        benchmeta.Collect(),
+		"date":        time.Now().UTC().Format("2006-01-02"),
+		"results":     results,
+		"summary": map[string]any{
+			"warm_vs_cold_bnb_speedup": round2(float64(coldNs) / float64(warmNs)),
+			"warm_vs_cold_bnb_states_ratio": round2(func() float64 {
+				if warmStates == 0 {
+					return 0
+				}
+				return coldStates / warmStates
+			}()),
+			"shared_vs_fresh_greedy_speedup": round2(float64(freshNs) / float64(sharedNs)),
+			"note": fmt.Sprintf("bnb-warm vs bnb-fresh: the chained warm-started sweep runs the 17-point exact sweep %.1fx faster by exploring %.1fx fewer states (byte-identical results); the greedy family isolates the compile-once workspace win (%.2fx at workers=1). Single-CPU hosts cannot show workers=4 wall-clock wins.",
+				float64(coldNs)/float64(warmNs), coldStates/warmStates, float64(freshNs)/float64(sharedNs)),
+		},
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_WORKSPACE_SWEEP.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_WORKSPACE_SWEEP.json: bnb warm speedup %.2fx", float64(coldNs)/float64(warmNs))
+}
+
+func round2(x float64) float64 { return float64(int64(x*100+0.5)) / 100 }

@@ -350,69 +350,167 @@ func runSweepPoint(b *testing.B, prog *mhla.Program, l1 int64, opts []mhla.Optio
 	return res
 }
 
-// BenchmarkWorkspaceSweep measures the compile-once workspace against
-// fresh per-point flow runs over the standard L1 sweep (9 sizes) of
-// the flagship application:
+// sweepBenchCase is one named sub-benchmark of the workspace sweep
+// suite — shared between BenchmarkWorkspaceSweep (which b.Runs each)
+// and the BENCH_WORKSPACE_SWEEP.json writer test, so the recorded
+// numbers come from exactly the benchmarked code.
+type sweepBenchCase struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// workspaceSweepBenches builds the workspace sweep suite over the
+// standard L1 sweep (17 half-power sizes, 256 B .. 64 KiB):
 //
-//	fresh/workers=N  — every sweep point validates, analyzes and
-//	                   rebuilds the program-side tables itself (the
-//	                   pre-workspace behavior), N points in flight
-//	shared/workers=N — one workspace.Compile per sweep, the points
-//	                   fan out over the concurrent sweep pool and
-//	                   share it read-only
+//	fresh/workers=N    — every sweep point validates, analyzes and
+//	                     rebuilds the program-side tables itself (the
+//	                     pre-workspace behavior), N points in flight;
+//	                     greedy engine on the flagship app (qsdpcm)
+//	shared/workers=N   — one workspace.Compile per sweep, the points
+//	                     fan out over the concurrent sweep pool and
+//	                     share it read-only
+//	bnb-fresh/workers=1 — exact branch-and-bound at every point,
+//	                     each search independent (cold greedy seed);
+//	                     the workspace and its option catalogs are
+//	                     already shared, so the remaining cost is
+//	                     pure search
+//	bnb-warm/workers=1 — the incremental chained sweep: ascending
+//	                     sizes, each point's search warm-started from
+//	                     its predecessor's optimum, pruning partials
+//	                     that cannot beat the re-scored neighbor
 //
-// Results are verified identical between the two modes on every
-// iteration (summed MHLA+TE cycles). Allocations are reported: the
-// shared mode performs the analysis allocations once instead of once
-// per point. Wall-clock speedup of workers=4 over workers=1 requires
-// actual cores — on a single-CPU host the points time-slice and tie.
-// Measured numbers are recorded in BENCH_WORKSPACE_SWEEP.json.
-func BenchmarkWorkspaceSweep(b *testing.B) {
+// The exact-engine pair runs on the heaviest tractable scenario of
+// the scaled-up progen family (the paper apps are intractable for
+// exhaustive-quality search): the ratio of the pair is the headline
+// cross-sweep incremental-search claim. Results are verified
+// identical within each family on every iteration (summed MHLA+TE
+// cycles) — the warm chain is byte-identical to cold per-point
+// searches, it only explores fewer states. Wall-clock speedup of
+// workers=4 over workers=1 requires actual cores — on a single-CPU
+// host the points time-slice and tie. Measured numbers are recorded
+// in BENCH_WORKSPACE_SWEEP.json (regenerate with the env-gated
+// TestWriteWorkspaceSweepBench).
+func workspaceSweepBenches(fatal func(...any)) []sweepBenchCase {
 	app, err := apps.ByName("qsdpcm")
 	if err != nil {
-		b.Fatal(err)
+		fatal(err)
 	}
 	prog := app.Build(apps.Paper)
 	sizes := mhla.DefaultSweepSizes()
+
+	bnbCfg := progen.Config{MaxArrays: 6, MaxBlocks: 4, MaxNests: 3, MaxDepth: 5, MaxAccesses: 4, MaxSpace: 2_000_000_000}
+	bnbSC := bnbCfg.Generate(6)
+	bnbWS, err := mhla.Compile(bnbSC.Program)
+	if err != nil {
+		fatal(err)
+	}
+	bnbOpts := []mhla.Option{
+		mhla.WithEngine(mhla.BnB), mhla.WithMaxStates(400_000_000),
+		mhla.WithObjective(bnbSC.Options.Objective), mhla.WithPolicy(bnbSC.Options.Policy),
+	}
+
+	var cases []sweepBenchCase
 	var ref int64
 	for _, w := range []int{1, 4} {
 		w := w
-		b.Run(fmt.Sprintf("fresh/workers=%d", w), func(b *testing.B) {
+		cases = append(cases,
+			sweepBenchCase{fmt.Sprintf("fresh/workers=%d", w), func(b *testing.B) {
+				b.ReportAllocs()
+				var total int64
+				for i := 0; i < b.N; i++ {
+					total = freshSweep(b, prog, sizes, w)
+				}
+				if ref == 0 {
+					ref = total
+				} else if total != ref {
+					b.Fatalf("fresh sweep (workers=%d) diverged: %d != %d", w, total, ref)
+				}
+				b.ReportMetric(float64(len(sizes)), "sweep_points")
+			}},
+			sweepBenchCase{fmt.Sprintf("shared/workers=%d", w), func(b *testing.B) {
+				b.ReportAllocs()
+				var total int64
+				for i := 0; i < b.N; i++ {
+					ws, err := mhla.Compile(prog)
+					if err != nil {
+						b.Fatal(err)
+					}
+					sw, err := mhla.SweepL1(context.Background(), prog, sizes,
+						mhla.WithWorkspace(ws), mhla.WithSweepWorkers(w))
+					if err != nil {
+						b.Fatal(err)
+					}
+					total = 0
+					for _, pt := range sw.Points {
+						total += pt.Result.TE.Cycles
+					}
+				}
+				if ref != 0 && total != ref {
+					b.Fatalf("shared sweep (workers=%d) diverged from fresh: %d != %d", w, total, ref)
+				}
+				b.ReportMetric(float64(len(sizes)), "sweep_points")
+			}},
+		)
+	}
+
+	var bnbRef int64
+	cases = append(cases,
+		sweepBenchCase{"bnb-fresh/workers=1", func(b *testing.B) {
 			b.ReportAllocs()
 			var total int64
+			var states int
 			for i := 0; i < b.N; i++ {
-				total = freshSweep(b, prog, sizes, w)
+				total, states = 0, 0
+				for _, l1 := range sizes {
+					res, err := mhla.Run(context.Background(), bnbSC.Program,
+						append([]mhla.Option{mhla.WithL1(l1), mhla.WithWorkspace(bnbWS)}, bnbOpts...)...)
+					if err != nil {
+						b.Fatal(err)
+					}
+					total += res.TE.Cycles
+					states += res.SearchStates
+				}
 			}
-			if ref == 0 {
-				ref = total
-			} else if total != ref {
-				b.Fatalf("fresh sweep (workers=%d) diverged: %d != %d", w, total, ref)
+			if bnbRef == 0 {
+				bnbRef = total
+			} else if total != bnbRef {
+				b.Fatalf("cold bnb sweep diverged: %d != %d", total, bnbRef)
 			}
+			b.ReportMetric(float64(states), "bnb_states")
 			b.ReportMetric(float64(len(sizes)), "sweep_points")
-		})
-		b.Run(fmt.Sprintf("shared/workers=%d", w), func(b *testing.B) {
+		}},
+		sweepBenchCase{"bnb-warm/workers=1", func(b *testing.B) {
 			b.ReportAllocs()
 			var total int64
+			var states int
 			for i := 0; i < b.N; i++ {
-				ws, err := mhla.Compile(prog)
+				sw, err := mhla.SweepL1(context.Background(), bnbSC.Program, sizes,
+					append([]mhla.Option{mhla.WithWorkspace(bnbWS), mhla.WithSweepWorkers(1)}, bnbOpts...)...)
 				if err != nil {
 					b.Fatal(err)
 				}
-				sw, err := mhla.SweepL1(context.Background(), prog, sizes,
-					mhla.WithWorkspace(ws), mhla.WithSweepWorkers(w))
-				if err != nil {
-					b.Fatal(err)
-				}
-				total = 0
+				total, states = 0, 0
 				for _, pt := range sw.Points {
 					total += pt.Result.TE.Cycles
+					states += pt.Result.SearchStates
 				}
 			}
-			if ref != 0 && total != ref {
-				b.Fatalf("shared sweep (workers=%d) diverged from fresh: %d != %d", w, total, ref)
+			if bnbRef != 0 && total != bnbRef {
+				b.Fatalf("warm bnb sweep diverged from cold per-point searches: %d != %d", total, bnbRef)
 			}
+			b.ReportMetric(float64(states), "bnb_states")
 			b.ReportMetric(float64(len(sizes)), "sweep_points")
-		})
+		}},
+	)
+	return cases
+}
+
+// BenchmarkWorkspaceSweep runs the workspace sweep suite; see
+// workspaceSweepBenches for the sub-benchmarks and the verification
+// each carries.
+func BenchmarkWorkspaceSweep(b *testing.B) {
+	for _, c := range workspaceSweepBenches(b.Fatal) {
+		b.Run(c.name, c.fn)
 	}
 }
 

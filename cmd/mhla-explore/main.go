@@ -24,6 +24,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -33,16 +35,38 @@ import (
 
 func main() {
 	var (
-		appName  = flag.String("app", "qsdpcm", "application to explore")
-		appsCSV  = flag.String("apps", "", "comma-separated applications for a concurrent batch grid (overrides -app)")
-		sizeCSV  = flag.String("sizes", "", "comma-separated L1 sizes in bytes (default 256..64K powers of two)")
-		scale    = flag.String("scale", "paper", "workload scale: paper or test")
-		workers  = flag.Int("workers", 0, "sweep/batch worker count (0 = GOMAXPROCS)")
-		emitCSV  = flag.Bool("csv", false, "emit CSV instead of tables")
-		emitJSON = flag.Bool("json", false, "emit the sweep as JSON (single-app mode)")
-		progress = flag.Bool("progress", false, "report batch progress on stderr")
+		appName    = flag.String("app", "qsdpcm", "application to explore")
+		appsCSV    = flag.String("apps", "", "comma-separated applications for a concurrent batch grid (overrides -app)")
+		sizeCSV    = flag.String("sizes", "", "comma-separated L1 sizes in bytes (default 256..64K half-power steps)")
+		scale      = flag.String("scale", "paper", "workload scale: paper or test")
+		workers    = flag.Int("workers", 0, "sweep/batch worker count (0 = GOMAXPROCS)")
+		emitCSV    = flag.Bool("csv", false, "emit CSV instead of tables")
+		emitJSON   = flag.Bool("json", false, "emit the sweep as JSON (single-app mode)")
+		progress   = flag.Bool("progress", false, "report batch progress on stderr")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		stopCPUProfile = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+		defer stopCPUProfile()
+	}
+	if *memProfile != "" {
+		memProfilePath = *memProfile
+		defer writeMemProfile()
+	}
 
 	sc := apps.Paper
 	if *scale == "test" {
@@ -127,12 +151,51 @@ func batch(appsCSV string, sc apps.Scale, sizes []int64, workers int, progress, 
 	}
 	for _, r := range results {
 		if r.Err != nil {
-			os.Exit(1)
+			exit(1)
 		}
 	}
 }
 
+// stopCPUProfile flushes and closes an in-progress -cpuprofile
+// capture. exit calls it explicitly because os.Exit skips deferred
+// calls — without this, any failed run would leave a truncated,
+// unreadable profile file.
+var stopCPUProfile = func() {}
+
+// memProfilePath is the -memprofile destination, cleared once
+// written. exit dumps it too (best-effort, never recursing into
+// fatal), so failed runs still yield a heap profile.
+var memProfilePath string
+
+// writeMemProfile captures the heap profile for -memprofile. It runs
+// at most once.
+func writeMemProfile() {
+	path := memProfilePath
+	if path == "" {
+		return
+	}
+	memProfilePath = ""
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mhla-explore:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "mhla-explore:", err)
+	}
+}
+
+// exit flushes any in-progress profiles before terminating (os.Exit
+// skips deferred calls).
+func exit(code int) {
+	writeMemProfile()
+	stopCPUProfile()
+	os.Exit(code)
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "mhla-explore:", err)
-	os.Exit(1)
+	exit(1)
 }

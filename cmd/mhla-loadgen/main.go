@@ -40,13 +40,13 @@ import (
 	"net"
 	"net/http"
 	"os"
-	"runtime"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"mhla/internal/benchmeta"
 	"mhla/internal/server"
 )
 
@@ -574,13 +574,8 @@ func intStats(xs []int) (maxV int, mean float64) {
 
 // hostInfo is the report's host block (shared by both modes).
 func hostInfo() map[string]any {
-	return map[string]any{
-		"os":   runtime.GOOS,
-		"arch": runtime.GOARCH,
-		"cpus": runtime.NumCPU(),
-		"go":   runtime.Version(),
-		"note": "measured on the repository's CI-class container; on 1 CPU sync and async work share one core, so async queueing delay dominates e2e latency — re-measure on real cores for concurrency wins",
-	}
+	return benchmeta.Collect().Map(
+		"measured on the repository's CI-class container; on 1 CPU sync and async work share one core, so async queueing delay dominates e2e latency — re-measure on real cores for concurrency wins")
 }
 
 // totals is the per-phase outcome block.

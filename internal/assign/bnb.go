@@ -171,7 +171,12 @@ type space struct {
 	// Precomputed per-decision tables (see buildTables in state.go):
 	// cost contributions, lifetime objects and option indices, so the
 	// DFS inner loop is table lookups against a mutable searchState
-	// instead of Assignment clones and profile rebuilds.
+	// instead of Assignment clones and profile rebuilds. cat is the
+	// workspace's shared platform-shape option catalog (catalog.go);
+	// optRemap[ci][fi] maps a catalog option index to this point's
+	// capacity-filtered index in chainOpts[ci] (-1 when infeasible
+	// here), so seed mapping reads the shared catalog index instead of
+	// building a per-point map.
 	nblocks         int
 	arrayObjs       []lifetime.Object
 	arrayUsed       []bool
@@ -179,7 +184,8 @@ type space struct {
 	chainContribTab [][]contrib
 	chainObjs       [][][]objDesc
 	chainArrayIdx   []int
-	optIndex        []map[string]int
+	cat             *chainCatalog
+	optRemap        [][]int
 
 	// suffix[i] is an optimistic lower bound on the total
 	// contribution of chains i.. (undecided decisions).
@@ -237,10 +243,34 @@ func newSpace(ctx context.Context, ws *workspace.Workspace, plat *platform.Platf
 		}
 		s.arrayOpts[i] = homes
 	}
+	// Per-point chain options are the shared shape catalog filtered by
+	// this platform's capacities: the feasible subsequence of the
+	// catalog's pre-order enumeration is chainOptionsFor's enumeration
+	// exactly (order included), so the decision space — and every
+	// downstream tie-break — is unchanged. The inner option slices and
+	// object descriptors are shared read-only with the catalog.
+	s.cat = catalogFor(ws, plat)
 	s.chains = ws.Chains
 	s.chainOpts = make([][]option, len(s.chains))
+	s.chainObjs = make([][][]objDesc, len(s.chains))
+	s.optRemap = make([][]int, len(s.chains))
 	for i, ch := range s.chains {
-		s.chainOpts[i] = chainOptionsFor(plat, ch)
+		full := s.cat.full[i]
+		remap := make([]int, len(full))
+		opts := make([]option, 0, len(full))
+		objs := make([][]objDesc, 0, len(full))
+		for fi, op := range full {
+			if !optionFeasible(plat, ch, op) {
+				remap[fi] = -1
+				continue
+			}
+			remap[fi] = len(opts)
+			opts = append(opts, op)
+			objs = append(objs, s.cat.objs[i][fi])
+		}
+		s.chainOpts[i] = opts
+		s.chainObjs[i] = objs
+		s.optRemap[i] = remap
 	}
 
 	s.nblocks = ws.NBlocks
@@ -348,7 +378,7 @@ func (s *space) seedIncumbent() bool {
 		if len(ly) > 0 && ly[0] >= home {
 			return false
 		}
-		oi, ok := s.optIndex[i][optionKey(lv, ly)]
+		oi, ok := s.lookupOption(i, lv, ly)
 		if !ok {
 			return false
 		}
@@ -356,6 +386,86 @@ func (s *space) seedIncumbent() bool {
 	}
 	s.seed = a
 	s.seedScore = s.opts.Objective.contribScore(acc)
+	s.hasSeed = true
+	s.publishBest(s.seedScore)
+	return true
+}
+
+// seedWarm installs a caller-provided warm-start incumbent — in the
+// L1 sweep's incremental search, the previous (smaller) point's
+// optimal assignment — as the initial branch-and-bound bound. The
+// incumbent's decisions are mapped onto this search's decision tables
+// and replayed through a searchState, which re-checks structural
+// validity and capacity feasibility under the *current* platform, and
+// its score is re-folded from the current platform's per-decision
+// contributions (never carried over: per-size platforms differ in
+// costs, not just capacity). An incumbent that no longer maps or fits
+// is rejected and the search keeps the greedy seed; so is one whose
+// re-folded score does not beat the already-installed greedy seed
+// (seedWarm runs after seedIncumbent) — keeping the stronger of the
+// two bounds guarantees a warm-started search never explores more
+// states than a fresh one, even when the neighboring optimum is a
+// poor fit for the current platform.
+//
+// Like the greedy seed, an accepted warm seed is a feasible leaf of
+// the decision tree whose score is folded in the same order as DFS
+// leaf scores, so it is bit-comparable with them; the search still
+// returns the DFS-first leaf attaining the global minimum, which is
+// what keeps a warm-started complete search byte-identical to a
+// greedy-seeded one in everything but the explored state count. The
+// cross-size dominance pruning this enables is exactly the ordinary
+// bound test: partial assignments whose optimistic bound cannot beat
+// the neighboring point's re-scored optimum are cut from the first
+// root expansion on. The seed assignment itself is re-materialized
+// over the current platform, so the MaxStates fallback path returns a
+// correctly-priced assignment too.
+func (s *space) seedWarm(inc *Assignment) bool {
+	decisions := make([]int, 0, s.levels())
+	for i, arr := range s.arrays {
+		home := inc.ArrayHome[arr.Name]
+		hi := -1
+		for j, h := range s.arrayOpts[i] {
+			if h == home {
+				hi = j
+				break
+			}
+		}
+		if hi < 0 {
+			return false
+		}
+		decisions = append(decisions, hi)
+	}
+	for i, ch := range s.chains {
+		var lv, ly []int
+		if ca := inc.Chains[ch.ID]; ca != nil {
+			lv, ly = ca.Levels, ca.Layers
+		}
+		if len(lv) != len(ly) {
+			return false
+		}
+		oi, ok := s.lookupOption(i, lv, ly)
+		if !ok {
+			return false
+		}
+		decisions = append(decisions, oi)
+	}
+	st := newSearchState(s)
+	acc := s.base
+	for depth, oi := range decisions {
+		if !st.apply(depth, oi) {
+			for d := depth - 1; d >= 0; d-- {
+				st.undo(d, decisions[d])
+			}
+			return false
+		}
+		acc = acc.plus(st.contribAt(depth, oi))
+	}
+	score := s.opts.Objective.contribScore(acc)
+	if s.hasSeed && score >= s.seedScore {
+		return false
+	}
+	s.seed = st.materialize()
+	s.seedScore = score
 	s.hasSeed = true
 	s.publishBest(s.seedScore)
 	return true
@@ -527,7 +637,15 @@ func (s *space) tick() {
 func exactSearch(ctx context.Context, ws *workspace.Workspace, plat *platform.Platform, opts Options, prune bool) *Result {
 	s := newSpace(ctx, ws, plat, opts, prune)
 	if prune {
+		// A warm-start incumbent (Options.Incumbent) replaces the
+		// greedy seed only when it maps, fits and scores strictly
+		// better under this platform; both seeds are feasible leaves,
+		// so the returned assignment is the same either way and the
+		// explored tree can only shrink.
 		s.seedIncumbent()
+		if opts.Incumbent != nil {
+			s.seedWarm(opts.Incumbent)
+		}
 	}
 	if ctx.Err() != nil {
 		return nil

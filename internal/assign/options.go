@@ -137,6 +137,22 @@ type Options struct {
 	// inherently sequential and ignores Workers. Negative values are
 	// rejected by Validate.
 	Workers int
+	// Incumbent, when non-nil, warm-starts the BranchBound engine with
+	// a known-good assignment — typically a neighboring L1-sweep
+	// point's optimum (explore.SweepWorkspace chains sweep points this
+	// way; see that package). The incumbent must have been built over
+	// the same workspace the search runs on (SearchWorkspace rejects a
+	// mismatch with a typed *OptionError); it may have been built for
+	// a *different* platform — it is re-validated and re-scored under
+	// the search's platform, and the search silently keeps its own
+	// greedy seed when the incumbent no longer maps or fits, or scores
+	// no better. A complete warm-started
+	// search returns byte-identical assignments and costs to a
+	// greedy-seeded one; only the explored state count shrinks (an
+	// incomplete search — MaxStates exhausted — may differ, as the
+	// budget then cuts a differently-shaped tree). Greedy and
+	// Exhaustive ignore the seed.
+	Incumbent *Assignment
 	// Progress, when non-nil, receives periodic search snapshots:
 	// after every greedy iteration and every few thousand explored
 	// nodes of the exact engines.
@@ -148,7 +164,7 @@ type Options struct {
 func (o Options) IsZero() bool {
 	return o.Policy == 0 && o.Objective == 0 && !o.InPlace && o.Engine == 0 &&
 		!o.GainPerByte && o.MaxStates == 0 && o.MaxGreedyIters == 0 &&
-		o.Workers == 0 && o.Progress == nil
+		o.Workers == 0 && o.Progress == nil && o.Incumbent == nil
 }
 
 // OptionError reports an invalid search option or facade input. It is
@@ -263,6 +279,13 @@ func SearchWorkspace(ctx context.Context, ws *workspace.Workspace, plat *platfor
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	// The incumbent's decisions are replayed against this workspace's
+	// decision tables, so it must come from the same compiled
+	// workspace. The platform may differ (that is the point of the
+	// warm-start chain) — seedWarm re-validates and re-scores it.
+	if opts.Incumbent != nil && opts.Incumbent.ws != ws {
+		return nil, &OptionError{Field: "Incumbent", Reason: "incumbent assignment was built over a different workspace"}
 	}
 	if opts.MaxGreedyIters == 0 {
 		opts.MaxGreedyIters = 10_000

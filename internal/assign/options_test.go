@@ -8,6 +8,7 @@ import (
 	"mhla/internal/assign"
 	"mhla/internal/progen"
 	"mhla/internal/reuse"
+	"mhla/internal/workspace"
 )
 
 // TestOptionsValidateTyped: invalid option values must be rejected
@@ -74,5 +75,55 @@ func TestOptionsZeroStillDefaults(t *testing.T) {
 	}
 	if res.Assignment == nil || !res.Complete {
 		t.Errorf("zero options search incomplete: %+v", res)
+	}
+}
+
+// TestIncumbentForeignWorkspaceRejected: a warm-start incumbent built
+// over a different compiled workspace must be rejected with a typed
+// *OptionError before any engine runs — its decisions would be
+// replayed against the wrong decision tables.
+func TestIncumbentForeignWorkspaceRejected(t *testing.T) {
+	sc := progen.Generate(3)
+	other := progen.Generate(5)
+	opts := sc.Options
+	opts.Engine = assign.BranchBound
+
+	an, err := reuse.Analyze(sc.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := workspace.FromAnalysis(an)
+	oan, err := reuse.Analyze(other.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ores, err := assign.SearchWorkspace(context.Background(), workspace.FromAnalysis(oan), other.Platform, opts)
+	if err != nil {
+		t.Fatalf("other search: %v", err)
+	}
+
+	opts.Incumbent = ores.Assignment
+	_, err = assign.SearchWorkspace(context.Background(), ws, sc.Platform, opts)
+	var oe *assign.OptionError
+	if !errors.As(err, &oe) {
+		t.Fatalf("foreign incumbent returned %v, want *OptionError", err)
+	}
+	if oe.Field != "Incumbent" {
+		t.Errorf("rejected field %q, want %q", oe.Field, "Incumbent")
+	}
+
+	// The same workspace is fine — even under a different platform
+	// (the incumbent is re-validated and re-scored).
+	own, err := assign.SearchWorkspace(context.Background(), ws, sc.Platform, func() assign.Options {
+		o := sc.Options
+		o.Engine = assign.BranchBound
+		return o
+	}())
+	if err != nil {
+		t.Fatalf("own search: %v", err)
+	}
+	opts.Incumbent = own.Assignment
+	if _, err := assign.SearchWorkspace(context.Background(), ws, sc.Platform, opts); err != nil {
+		t.Errorf("same-workspace incumbent rejected: %v", err)
 	}
 }

@@ -40,22 +40,21 @@ func optionKey(levels, layers []int) string {
 	return b.String()
 }
 
-// buildTables precomputes the per-decision tables the incremental
+// buildTables precomputes the per-decision cost tables the incremental
 // search reads in its hot loop. The program-side halves — each
 // array's lifetime object and used flag, each candidate's lifetime
 // object, the chain-to-array index — come ready-made from the
-// workspace; only the platform-dependent halves are built per search:
+// workspace, and the option enumeration with its lifetime-object
+// descriptors and key index comes from the shared platform-shape
+// catalog (catalog.go, filtered by capacity in newSpace); only the
+// genuinely capacity/cost-dependent tables are built per search:
 //
 //   - arrayContribTab[ai][hi]: the exact cost contribution of homing
 //     array ai at arrayOpts[ai][hi] (aligned with arrayOpts);
 //   - chainContribTab[ci][home*len(opts)+oi]: the contribution of
 //     chain ci under each (home layer, option) pair — chainContrib
 //     depends only on that pair, so per-child cost accumulation
-//     becomes one lookup plus add;
-//   - chainObjs[ci][oi]: the space consumers option oi places, as
-//     ready-made lifetime objects;
-//   - optIndex[ci]: option-key -> option index, for O(1) greedy-seed
-//     mapping.
+//     becomes one lookup plus add.
 func (s *space) buildTables() {
 	s.arrayObjs = s.ws.ArrayObjs
 	s.arrayUsed = s.ws.ArrayUsed
@@ -71,8 +70,6 @@ func (s *space) buildTables() {
 
 	nlayers := len(s.plat.Layers)
 	s.chainContribTab = make([][]contrib, len(s.chains))
-	s.chainObjs = make([][][]objDesc, len(s.chains))
-	s.optIndex = make([]map[string]int, len(s.chains))
 	for ci, ch := range s.chains {
 		opts := s.chainOpts[ci]
 		tab := make([]contrib, nlayers*len(opts))
@@ -82,24 +79,6 @@ func (s *space) buildTables() {
 			}
 		}
 		s.chainContribTab[ci] = tab
-		objs := make([][]objDesc, len(opts))
-		idx := make(map[string]int, len(opts))
-		for oi, op := range opts {
-			for k, lv := range op.levels {
-				// During the search no time-extension Extras exist, so
-				// a copy occupies exactly its candidate bytes in its
-				// chain's block — the same workspace object
-				// Assignment.Objects reads for the materialized
-				// assignment.
-				objs[oi] = append(objs[oi], objDesc{
-					layer: op.layers[k],
-					obj:   s.ws.CandObjs[ci][lv],
-				})
-			}
-			idx[optionKey(op.levels, op.layers)] = oi
-		}
-		s.chainObjs[ci] = objs
-		s.optIndex[ci] = idx
 	}
 }
 

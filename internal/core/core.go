@@ -130,7 +130,7 @@ func Run(p *model.Program, cfg Config) (*Result, error) {
 // platforms compile once with workspace.Compile and call RunWorkspace
 // per platform instead.
 func RunContext(ctx context.Context, p *model.Program, cfg Config) (*Result, error) {
-	search, enter, err := flowSetup(ctx, cfg)
+	search, enter, err := flowSetup(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -142,14 +142,18 @@ func RunContext(ctx context.Context, p *model.Program, cfg Config) (*Result, err
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	if err := enter(PhaseAnalyze); err != nil {
+	if err := enter(ctx, PhaseAnalyze); err != nil {
 		return nil, err
 	}
 	ws, err := workspace.Compile(p)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	return runCompiled(ctx, ws, cfg, search, enter)
+	pending, err := beginCompiled(ctx, ws, cfg, search, enter)
+	if err != nil {
+		return nil, err
+	}
+	return pending.Finish(ctx)
 }
 
 // RunWorkspace executes the full flow over a precompiled workspace:
@@ -161,25 +165,58 @@ func RunContext(ctx context.Context, p *model.Program, cfg Config) (*Result, err
 // RunWorkspace calls out against one shared workspace; the workspace
 // is immutable, so concurrent calls are safe.
 func RunWorkspace(ctx context.Context, ws *workspace.Workspace, cfg Config) (*Result, error) {
+	pending, err := BeginWorkspace(ctx, ws, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return pending.Finish(ctx)
+}
+
+// Pending is a flow paused at the seam between the two steps: the
+// assignment search (step 1) has run, the time-extension scheduling
+// and the operating-point evaluation (Finish) have not. The seam
+// exists for the incremental L1 sweep: the assignment of one sweep
+// point becomes the next point's warm-start incumbent
+// (assign.Options.Incumbent) as soon as Begin returns, while the
+// platform-independent finishing work of earlier points overlaps the
+// later points' searches on the sweep's worker pool. A Pending is
+// used by at most one goroutine at a time; Finish consumes it.
+type Pending struct {
+	cfg   Config
+	res   *Result
+	enter func(context.Context, Phase) error
+}
+
+// Assignment is the step-1 decision, available before Finish — the
+// warm-start handoff of the incremental sweep.
+func (p *Pending) Assignment() *assign.Assignment { return p.res.Assignment }
+
+// BeginWorkspace runs the flow through the assignment step (step 1)
+// over a precompiled workspace and pauses. RunWorkspace is
+// BeginWorkspace + Finish, so both halves are one code path; callers
+// that need nothing between the steps should call RunWorkspace.
+func BeginWorkspace(ctx context.Context, ws *workspace.Workspace, cfg Config) (*Pending, error) {
 	if ws == nil {
 		return nil, fmt.Errorf("core: nil workspace")
 	}
-	search, enter, err := flowSetup(ctx, cfg)
+	search, enter, err := flowSetup(cfg)
 	if err != nil {
 		return nil, err
 	}
 	// The analyze phase is entered for a uniform progress stream even
 	// though the compiled analysis makes it instantaneous.
-	if err := enter(PhaseAnalyze); err != nil {
+	if err := enter(ctx, PhaseAnalyze); err != nil {
 		return nil, err
 	}
-	return runCompiled(ctx, ws, cfg, search, enter)
+	return beginCompiled(ctx, ws, cfg, search, enter)
 }
 
 // flowSetup validates the flow configuration and prepares the
 // normalized search options and the phase-entry hook shared by
-// RunContext and RunWorkspace.
-func flowSetup(ctx context.Context, cfg Config) (assign.Options, func(Phase) error, error) {
+// RunContext and RunWorkspace. The hook takes the context explicitly
+// because the two flow halves (Begin, Finish) may run under different
+// calls with the same configuration.
+func flowSetup(cfg Config) (assign.Options, func(context.Context, Phase) error, error) {
 	search := cfg.Search
 	if cfg.Platform == nil {
 		return search, nil, fmt.Errorf("core: no platform configured")
@@ -193,7 +230,7 @@ func flowSetup(ctx context.Context, cfg Config) (assign.Options, func(Phase) err
 	if err := search.Validate(); err != nil {
 		return search, nil, fmt.Errorf("core: %w", err)
 	}
-	enter := func(ph Phase) error {
+	enter := func(ctx context.Context, ph Phase) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -205,13 +242,12 @@ func flowSetup(ctx context.Context, cfg Config) (assign.Options, func(Phase) err
 	return WireSearchProgress(search, cfg.Progress), enter, nil
 }
 
-// runCompiled is the flow from the assignment step on, over a
-// compiled workspace and validated configuration.
-func runCompiled(ctx context.Context, ws *workspace.Workspace, cfg Config, search assign.Options, enter func(Phase) error) (*Result, error) {
+// beginCompiled is step 1 (the assignment search) over a compiled
+// workspace and validated configuration.
+func beginCompiled(ctx context.Context, ws *workspace.Workspace, cfg Config, search assign.Options, enter func(context.Context, Phase) error) (*Pending, error) {
 	res := &Result{Program: ws.Program, Platform: cfg.Platform, Analysis: ws.Analysis}
 
-	// Step 1: assignment.
-	if err := enter(PhaseAssign); err != nil {
+	if err := enter(ctx, PhaseAssign); err != nil {
 		return nil, err
 	}
 	sr, err := assign.SearchWorkspace(ctx, ws, cfg.Platform, search)
@@ -225,16 +261,24 @@ func runCompiled(ctx context.Context, ws *workspace.Workspace, cfg Config, searc
 	res.Original = sr.Baseline
 	res.MHLA = sr.Cost
 	res.SearchStates = sr.States
+	return &Pending{cfg: cfg, res: res, enter: enter}, nil
+}
+
+// Finish runs the remaining flow of a paused point: the
+// time-extension scheduling (step 2) and the operating-point
+// evaluation. It consumes the Pending.
+func (p *Pending) Finish(ctx context.Context) (*Result, error) {
+	cfg, res := p.cfg, p.res
 
 	// Step 2: time extensions.
-	if err := enter(PhaseExtend); err != nil {
+	if err := p.enter(ctx, PhaseExtend); err != nil {
 		return nil, err
 	}
 	if cfg.DisableTE {
-		res.Plan = &te.Plan{Assignment: sr.Assignment, Applicable: false}
+		res.Plan = &te.Plan{Assignment: res.Assignment, Applicable: false}
 		res.TE = res.MHLA
 	} else {
-		plan, err := te.Extend(sr.Assignment)
+		plan, err := te.Extend(res.Assignment)
 		if err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
@@ -247,10 +291,10 @@ func runCompiled(ctx context.Context, ws *workspace.Workspace, cfg Config, searc
 	}
 
 	// Ideal: every block transfer hidden.
-	if err := enter(PhaseEvaluate); err != nil {
+	if err := p.enter(ctx, PhaseEvaluate); err != nil {
 		return nil, err
 	}
-	res.Ideal = sr.Assignment.Evaluate(assign.EvalOptions{Ideal: true})
+	res.Ideal = res.Assignment.Evaluate(assign.EvalOptions{Ideal: true})
 	return res, nil
 }
 

@@ -18,6 +18,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"runtime"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -30,11 +32,17 @@ import (
 )
 
 // DefaultSizes returns the standard L1 sweep: 256 B to 64 KiB in
-// powers of two.
+// half-power-of-two steps (17 points — the powers of two plus their
+// midpoints). The finer grid resolves the knees of the trade-off
+// curve between the power-of-two jumps; the incremental warm-started
+// sweep keeps the denser default affordable.
 func DefaultSizes() []int64 {
 	var sizes []int64
 	for c := int64(256); c <= 64*1024; c *= 2 {
 		sizes = append(sizes, c)
+		if c < 64*1024 {
+			sizes = append(sizes, c+c/2)
+		}
 	}
 	return sizes
 }
@@ -108,15 +116,29 @@ func RunFlow(ctx context.Context, p *model.Program, sizes []int64, cfg core.Conf
 
 // SweepWorkspace sweeps the given on-chip sizes over a precompiled
 // workspace: the program-side analysis is shared read-only by every
-// point, and the points are evaluated concurrently on a bounded
-// worker pool. The returned Points are in input size order and
+// point. With the greedy or exhaustive engine the points are
+// independent and are evaluated concurrently on a bounded worker
+// pool; with the branch-and-bound engine the sweep is one incremental
+// search — sizes are searched in ascending order along a warm-start
+// chain (each point's optimum, re-scored under the next platform,
+// seeds the next point's incumbent; see assign.Options.Incumbent)
+// while the platform-shape option catalog is shared across points and
+// the finished points' time-extension/evaluation work overlaps later
+// searches on the worker pool. Any Incumbent configured on
+// opts.Config.Search is overwritten by the chain.
+//
+// Either way the returned Points are in input size order and
 // byte-identical to a sequential fresh-per-point sweep at every
-// worker count. A failing point stops further points from being
-// dispatched (points already in flight finish), and the lowest-index
-// failure is returned as the sweep error — each point's outcome is a
-// pure function of (workspace, size), so the reported error is
-// deterministic at every worker count. When ctx is cancelled the
-// sweep returns promptly with ctx.Err().
+// worker count — warm-start chaining only shrinks each point's
+// explored state count (Result.SearchStates), and the chain order is
+// a pure function of (workspace, sizes), never of scheduling. A
+// failing point stops further points from being dispatched (points
+// already in flight finish), and the first failure in evaluation
+// order — input order for the concurrent path, ascending-size chain
+// order for the incremental path — is returned as the sweep error;
+// each point's outcome is a pure function of (workspace, size), so
+// the reported error is deterministic at every worker count. When ctx
+// is cancelled the sweep returns promptly with ctx.Err().
 func SweepWorkspace(ctx context.Context, ws *workspace.Workspace, sizes []int64, opts Options) (*Sweep, error) {
 	if ws == nil {
 		return nil, fmt.Errorf("explore: nil workspace")
@@ -159,6 +181,14 @@ func SweepWorkspace(ctx context.Context, ws *workspace.Workspace, sizes []int64,
 	}
 	if workers > len(sizes) {
 		workers = len(sizes)
+	}
+
+	// The warm-start chain pays off exactly when searches prune — the
+	// branch-and-bound engine. Greedy ignores incumbents and the
+	// exhaustive reference never prunes, so their points stay
+	// independent and run on the concurrent pool.
+	if cfg.Search.Engine == assign.BranchBound {
+		return sweepChained(ctx, ws, sizes, cfg, workers)
 	}
 
 	// A point failure stops further dispatch; points already in
@@ -228,6 +258,87 @@ func SweepWorkspace(ctx context.Context, ws *workspace.Workspace, sizes []int64,
 	return sw, nil
 }
 
+// sweepChained is the incremental branch-and-bound sweep: one search
+// chained across the points instead of N independent ones.
+//
+// The chain visits sizes in ascending order (ties keep input order),
+// so the order — and with it every point's incumbent, and so every
+// point's result — is a pure function of (workspace, sizes). Each
+// search runs to completion before the next begins (intra-point
+// parallelism stays with assign.Options.Workers); what overlaps is
+// the platform-independent tail of finished points — time-extension
+// scheduling and operating-point evaluation, via the core
+// Begin/Finish seam — which the worker pool drains while later
+// points search. The chain hands each point's optimal assignment to
+// the next point as its warm-start incumbent; assign re-scores it
+// under the new platform (capacities and costs both change with L1
+// size) and falls back to the greedy seed when it no longer fits, so
+// the incumbent is a bound, never an answer.
+//
+// A Begin (search) failure stops the chain; Finish failures of points
+// already handed to the pool are collected per point. The first
+// failure in chain order is reported, which is the same failure a
+// sequential ascending sweep reports at any worker count.
+func sweepChained(ctx context.Context, ws *workspace.Workspace, sizes []int64, cfg core.Config, workers int) (*Sweep, error) {
+	order := make([]int, len(sizes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return sizes[order[a]] < sizes[order[b]] })
+
+	results := make([]*core.Result, len(sizes))
+	errs := make([]error, len(sizes))
+
+	type finishJob struct {
+		idx     int
+		pending *core.Pending
+	}
+	jobs := make(chan finishJob, len(sizes))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				results[j.idx], errs[j.idx] = j.pending.Finish(ctx)
+			}
+		}()
+	}
+
+	var incumbent *assign.Assignment
+	for _, idx := range order {
+		pcfg := cfg
+		pcfg.Platform = energy.TwoLevel(sizes[idx])
+		pcfg.Search.Incumbent = incumbent
+		pending, err := core.BeginWorkspace(ctx, ws, pcfg)
+		if err != nil {
+			errs[idx] = err
+			break
+		}
+		incumbent = pending.Assignment()
+		jobs <- finishJob{idx: idx, pending: pending}
+	}
+	close(jobs)
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for _, idx := range order {
+		if errs[idx] != nil {
+			return nil, fmt.Errorf("explore: size %d: %w", sizes[idx], errs[idx])
+		}
+	}
+	sw := &Sweep{Program: ws.Program.Name}
+	for i, res := range results {
+		if res == nil {
+			return nil, fmt.Errorf("explore: size %d: %w", sizes[i], context.Canceled)
+		}
+		sw.Points = append(sw.Points, Point{L1: sizes[i], Result: res})
+	}
+	return sw, nil
+}
+
 // TEPoints returns the MHLA+TE operating points as Pareto candidates.
 func (s *Sweep) TEPoints() []pareto.Point {
 	pts := make([]pareto.Point, len(s.Points))
@@ -248,15 +359,16 @@ func (s *Sweep) Frontier() []pareto.Point { return pareto.Frontier(s.TEPoints())
 // CSV renders the sweep as comma-separated values with a header, one
 // row per size: the four operating points in cycles and the energies.
 func (s *Sweep) CSV() string {
-	out := "app,l1_bytes,orig_cycles,mhla_cycles,te_cycles,ideal_cycles,orig_pj,mhla_pj\n"
+	var b strings.Builder
+	b.WriteString("app,l1_bytes,orig_cycles,mhla_cycles,te_cycles,ideal_cycles,orig_pj,mhla_pj\n")
 	for _, p := range s.Points {
 		r := p.Result
-		out += fmt.Sprintf("%s,%d,%d,%d,%d,%d,%.0f,%.0f\n",
+		fmt.Fprintf(&b, "%s,%d,%d,%d,%d,%d,%.0f,%.0f\n",
 			s.Program, p.L1,
 			r.Original.Cycles, r.MHLA.Cycles, r.TE.Cycles, r.Ideal.Cycles,
 			r.Original.Energy, r.MHLA.Energy)
 	}
-	return out
+	return b.String()
 }
 
 // sweepJSON mirrors the modelio schema conventions (snake_case keys,
@@ -312,12 +424,13 @@ func (s *Sweep) JSON() ([]byte, error) {
 
 // String renders a compact sweep table with normalized values.
 func (s *Sweep) String() string {
-	out := fmt.Sprintf("exploration of %s\n", s.Program)
-	out += fmt.Sprintf("%10s %9s %9s %9s %9s\n", "l1", "mhla", "te", "ideal", "energy")
+	var b strings.Builder
+	fmt.Fprintf(&b, "exploration of %s\n", s.Program)
+	fmt.Fprintf(&b, "%10s %9s %9s %9s %9s\n", "l1", "mhla", "te", "ideal", "energy")
 	for _, p := range s.Points {
 		g := p.Result.Gains()
-		out += fmt.Sprintf("%10d %8.1f%% %8.1f%% %8.1f%% %8.1f%%\n",
+		fmt.Fprintf(&b, "%10d %8.1f%% %8.1f%% %8.1f%% %8.1f%%\n",
 			p.L1, 100*g.MHLACycles, 100*g.TECycles, 100*g.IdealCycles, 100*g.MHLAEnergy)
 	}
-	return out
+	return b.String()
 }

@@ -63,12 +63,27 @@ func TestSweepFrontierNonEmpty(t *testing.T) {
 
 func TestDefaultSizes(t *testing.T) {
 	sizes := DefaultSizes()
+	if len(sizes) != 17 {
+		t.Fatalf("len(DefaultSizes) = %d, want 17: %v", len(sizes), sizes)
+	}
 	if sizes[0] != 256 || sizes[len(sizes)-1] != 64*1024 {
 		t.Errorf("DefaultSizes = %v", sizes)
 	}
+	// Powers of two at even indices, ×1.5 midpoints at odd indices,
+	// strictly ascending overall.
+	for i, s := range sizes {
+		pow := int64(256) << (i / 2)
+		want := pow
+		if i%2 == 1 {
+			want = pow + pow/2
+		}
+		if s != want {
+			t.Errorf("sizes[%d] = %d, want %d (%v)", i, s, want, sizes)
+		}
+	}
 	for i := 1; i < len(sizes); i++ {
-		if sizes[i] != 2*sizes[i-1] {
-			t.Errorf("sizes not powers of two: %v", sizes)
+		if sizes[i] <= sizes[i-1] {
+			t.Errorf("sizes not ascending: %v", sizes)
 		}
 	}
 }

@@ -79,13 +79,22 @@ func assignmentsEqual(a, b *assign.Assignment) bool {
 
 // resultsEqual compares everything a flow result reports: the four
 // operating points, the search effort, the assignment decisions and
-// the time-extension plan.
-func resultsEqual(a, b *core.Result) bool {
+// the time-extension plan. statesMayShrink relaxes the search-effort
+// comparison for warm-started branch-and-bound sweeps, where the
+// chained incumbent legitimately prunes harder than a fresh run (b
+// may explore fewer states than a, never more).
+func resultsEqual(a, b *core.Result, statesMayShrink bool) bool {
+	if statesMayShrink {
+		if b.SearchStates > a.SearchStates {
+			return false
+		}
+	} else if a.SearchStates != b.SearchStates {
+		return false
+	}
 	if !reflect.DeepEqual(a.Original, b.Original) ||
 		!reflect.DeepEqual(a.MHLA, b.MHLA) ||
 		!reflect.DeepEqual(a.TE, b.TE) ||
-		!reflect.DeepEqual(a.Ideal, b.Ideal) ||
-		a.SearchStates != b.SearchStates {
+		!reflect.DeepEqual(a.Ideal, b.Ideal) {
 		return false
 	}
 	if !assignmentsEqual(a.Assignment, b.Assignment) {
@@ -146,7 +155,7 @@ func TestSweepWorkspaceMatchesFreshRuns(t *testing.T) {
 						t.Fatalf("seed %d: point %d is size %d, want %d (order broken)",
 							sc.Seed, i, pt.L1, sweepSizes[i])
 					}
-					if !resultsEqual(fresh[i], pt.Result) {
+					if !resultsEqual(fresh[i], pt.Result, sweepOptions(sc).Engine == assign.BranchBound) {
 						t.Errorf("seed %d size %d workers %d: shared-workspace result differs from fresh run\nfresh: MHLA=%+v TE=%+v states=%d\nshared: MHLA=%+v TE=%+v states=%d",
 							sc.Seed, pt.L1, workers,
 							fresh[i].MHLA, fresh[i].TE, fresh[i].SearchStates,

@@ -329,7 +329,8 @@ func (req *runRequest) platformOptions() ([]mhla.Option, *apiError) {
 type sweepRequest struct {
 	programRef
 	// Sizes are the L1 capacities to sweep; empty means the standard
-	// 256 B .. 64 KiB powers of two.
+	// 256 B .. 64 KiB half-power-of-two ladder. Duplicates are
+	// rejected.
 	Sizes []int64 `json:"sizes,omitempty"`
 	// SweepWorkers bounds concurrently evaluated sweep points.
 	SweepWorkers int `json:"sweep_workers,omitempty"`
@@ -340,10 +341,18 @@ func (req *sweepRequest) validateSizes() *apiError {
 	if len(req.Sizes) > maxSweepSizes {
 		return badRequest("bad_request", "%d sweep sizes exceed the limit of %d", len(req.Sizes), maxSweepSizes)
 	}
+	seen := make(map[int64]bool, len(req.Sizes))
 	for _, s := range req.Sizes {
 		if s <= 0 {
 			return badRequest("invalid_option", "sweep size %d must be positive", s)
 		}
+		// Duplicates would evaluate one point twice and, on the
+		// warm-started branch-and-bound chain, silently skew the
+		// reported sweep; reject instead of deduplicating.
+		if seen[s] {
+			return badRequest("invalid_option", "duplicate sweep size %d", s)
+		}
+		seen[s] = true
 	}
 	if req.SweepWorkers < 0 || req.SweepWorkers > maxWorkersParam {
 		return badRequest("invalid_option", "sweep_workers %d out of range [0, %d]", req.SweepWorkers, maxWorkersParam)
@@ -407,7 +416,7 @@ func (req *batchRequest) validate() *apiError {
 			req.Workers*req.BatchWorkers, maxWorkersParam)
 	}
 	// Bound the expanded grid: one slot may carry at most maxBatchJobs
-	// flow runs (empty sizes/objectives fall back to the 9 standard
+	// flow runs (empty sizes/objectives fall back to the 17 standard
 	// sweep sizes / 1 objective in Grid.Jobs).
 	sizeCount, objCount := len(req.L1Sizes), len(req.Objectives)
 	if sizeCount == 0 {

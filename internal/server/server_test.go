@@ -297,6 +297,7 @@ func TestRequestErrors(t *testing.T) {
 		{"huge workers", "/v1/run", `{"app":"me","workers":100000}`, http.StatusBadRequest, "invalid_option"},
 		{"huge max_states", "/v1/run", `{"app":"me","max_states":999999999999}`, http.StatusBadRequest, "invalid_option"},
 		{"negative sweep size", "/v1/sweep", `{"app":"me","sizes":[-256]}`, http.StatusBadRequest, "invalid_option"},
+		{"duplicate sweep size", "/v1/sweep", `{"app":"me","sizes":[512,1024,512]}`, http.StatusBadRequest, "invalid_option"},
 		{"too many sweep sizes", "/v1/sweep", fmt.Sprintf(`{"app":"me","sizes":[%s1]}`, strings.Repeat("1,", maxSweepSizes)), http.StatusBadRequest, "bad_request"},
 		{"huge sweep workers", "/v1/sweep", `{"app":"me","sweep_workers":4096}`, http.StatusBadRequest, "invalid_option"},
 		{"batch no apps", "/v1/batch", `{}`, http.StatusBadRequest, "bad_request"},

@@ -21,6 +21,7 @@ package workspace
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"mhla/internal/lifetime"
 	"mhla/internal/model"
@@ -78,6 +79,35 @@ type Workspace struct {
 	// walking every loop body per call.
 	BlockCompute []int64
 	TotalCompute int64
+
+	// memo caches derived tables keyed by an opaque string (e.g. the
+	// exact engines' per-platform-shape option catalogs, shared by
+	// every point of an L1 sweep). It is the one mutable corner of a
+	// Workspace; Memo serializes access, so the workspace stays safe
+	// to share across goroutines and cached values must themselves be
+	// immutable once returned.
+	memoMu sync.Mutex
+	memo   map[string]any
+}
+
+// Memo returns the value cached under key, building it with build on
+// the first call. The build function runs under the workspace's memo
+// lock — at most once per key — so it must not call Memo itself and
+// should stay cheap relative to the work it saves (catalog
+// enumeration, not searches). The returned value is shared by every
+// caller and must be treated as immutable.
+func (ws *Workspace) Memo(key string, build func() any) any {
+	ws.memoMu.Lock()
+	defer ws.memoMu.Unlock()
+	if v, ok := ws.memo[key]; ok {
+		return v
+	}
+	if ws.memo == nil {
+		ws.memo = make(map[string]any)
+	}
+	v := build()
+	ws.memo[key] = v
+	return v
 }
 
 // Compile validates the program, runs the data-reuse analysis and

@@ -203,6 +203,28 @@ func WithWorkspace(ws *Workspace) Option {
 	}
 }
 
+// WithIncumbent warm-starts the branch-and-bound engine with a
+// known-good assignment — typically a neighboring configuration's
+// optimum (SweepL1 chains its points this way automatically). The
+// incumbent must have been built over the same compiled workspace the
+// call searches (pass WithWorkspace with the workspace it came from);
+// a mismatch is rejected with a typed *OptionError. It may have been
+// found under a different platform — it is re-validated and re-scored
+// under the call's platform and silently ignored when it no longer
+// maps, fits, or improves on the greedy seed. A complete warm-started
+// search returns byte-identical results; only the explored state
+// count shrinks. The greedy and exhaustive engines ignore the
+// setting. A nil assignment is rejected with a typed *OptionError.
+func WithIncumbent(a *Assignment) Option {
+	return func(c *config) {
+		if a == nil {
+			c.fail("Incumbent", "nil assignment")
+			return
+		}
+		c.search.Incumbent = a
+	}
+}
+
 // WithSweepWorkers bounds the sweep points SweepL1 evaluates
 // concurrently. 0 (the default) means GOMAXPROCS, 1 forces a
 // sequential sweep; the sweep result is identical at every worker

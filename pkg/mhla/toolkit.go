@@ -82,7 +82,8 @@ func SweepL1(ctx context.Context, p *Program, sizes []int64, opts ...Option) (*S
 }
 
 // DefaultSweepSizes is the standard L1 sweep: 256 B to 64 KiB in
-// powers of two.
+// half-power-of-two steps (the powers of two plus their midpoints,
+// 17 points).
 func DefaultSweepSizes() []int64 { return explore.DefaultSizes() }
 
 // ParetoFrontier filters points down to the non-dominated set.

@@ -94,6 +94,54 @@ func TestSweepL1WorkspaceWorkerEquivalence(t *testing.T) {
 	}
 }
 
+// TestWithIncumbentValidationAndEquivalence: the warm-start incumbent
+// option rejects nil and foreign-workspace assignments with typed
+// errors, and an accepted incumbent leaves the result byte-identical
+// to a cold run while never growing the search effort.
+func TestWithIncumbentValidationAndEquivalence(t *testing.T) {
+	p := reuseProgram()
+	ws, err := mhla.Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := mhla.Run(context.Background(), p, mhla.WithL1(512),
+		mhla.WithWorkspace(ws), mhla.WithEngine(mhla.BnB))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var oe *mhla.OptionError
+	if _, err := mhla.Run(context.Background(), p, mhla.WithIncumbent(nil)); !errors.As(err, &oe) || oe.Field != "Incumbent" {
+		t.Errorf("nil incumbent: got %v, want *OptionError{Field: Incumbent}", err)
+	}
+	// Without WithWorkspace the run compiles its own workspace, so an
+	// incumbent from ws is foreign to it and must be rejected.
+	if _, err := mhla.Run(context.Background(), p, mhla.WithEngine(mhla.BnB),
+		mhla.WithIncumbent(cold.Assignment)); !errors.As(err, &oe) || oe.Field != "Incumbent" {
+		t.Errorf("foreign incumbent: got %v, want *OptionError{Field: Incumbent}", err)
+	}
+
+	// Same workspace, neighboring platform: byte-identical operating
+	// points, search effort at most the cold run's.
+	ref, err := mhla.Run(context.Background(), p, mhla.WithL1(1024),
+		mhla.WithWorkspace(ws), mhla.WithEngine(mhla.BnB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := mhla.Run(context.Background(), p, mhla.WithL1(1024),
+		mhla.WithWorkspace(ws), mhla.WithEngine(mhla.BnB), mhla.WithIncumbent(cold.Assignment))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref.MHLA, warm.MHLA) || !reflect.DeepEqual(ref.TE, warm.TE) ||
+		!reflect.DeepEqual(ref.Original, warm.Original) || !reflect.DeepEqual(ref.Ideal, warm.Ideal) {
+		t.Errorf("warm-started run differs from cold run:\n%+v\nvs\n%+v", ref.MHLA, warm.MHLA)
+	}
+	if warm.SearchStates > ref.SearchStates {
+		t.Errorf("warm start explored more states (%d) than cold (%d)", warm.SearchStates, ref.SearchStates)
+	}
+}
+
 // TestExplorerReusesWorkspacePerProgram: a batch over a grid must
 // compile each distinct program once — observable as all jobs of one
 // program sharing the same Analysis value, with distinct programs
