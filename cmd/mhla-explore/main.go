@@ -36,6 +36,7 @@ import (
 func main() {
 	var (
 		appName    = flag.String("app", "qsdpcm", "application to explore")
+		engine     = flag.String("engine", "", "search engine per point (see mhla -list-engines; default greedy)")
 		appsCSV    = flag.String("apps", "", "comma-separated applications for a concurrent batch grid (overrides -app)")
 		sizeCSV    = flag.String("sizes", "", "comma-separated L1 sizes in bytes (default 256..64K half-power steps)")
 		scale      = flag.String("scale", "paper", "workload scale: paper or test")
@@ -83,11 +84,20 @@ func main() {
 		}
 	}
 
+	var engineOpts []mhla.Option
+	if *engine != "" {
+		eng, err := mhla.ParseEngine(*engine)
+		if err != nil {
+			fatal(err)
+		}
+		engineOpts = append(engineOpts, mhla.WithEngine(eng))
+	}
+
 	if *appsCSV != "" {
 		if *emitJSON {
 			fatal(fmt.Errorf("-json applies to the single-app sweep (use -csv for batches)"))
 		}
-		batch(*appsCSV, sc, sizes, *workers, *progress, *emitCSV)
+		batch(*appsCSV, sc, sizes, *workers, *progress, *emitCSV, engineOpts)
 		return
 	}
 
@@ -95,8 +105,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	sw, err := mhla.SweepL1(context.Background(), app.Build(sc), sizes,
-		mhla.WithSweepWorkers(*workers))
+	opts := append([]mhla.Option{mhla.WithSweepWorkers(*workers)}, engineOpts...)
+	sw, err := mhla.SweepL1(context.Background(), app.Build(sc), sizes, opts...)
 	if err != nil {
 		fatal(err)
 	}
@@ -120,7 +130,7 @@ func main() {
 
 // batch fans the requested applications out over the Explorer worker
 // pool and prints the deterministic batch report.
-func batch(appsCSV string, sc apps.Scale, sizes []int64, workers int, progress, emitCSV bool) {
+func batch(appsCSV string, sc apps.Scale, sizes []int64, workers int, progress, emitCSV bool, opts []mhla.Option) {
 	var grid mhla.Grid
 	for _, name := range strings.Split(appsCSV, ",") {
 		app, err := apps.ByName(strings.TrimSpace(name))
@@ -130,6 +140,7 @@ func batch(appsCSV string, sc apps.Scale, sizes []int64, workers int, progress, 
 		grid.Apps = append(grid.Apps, mhla.GridApp{Name: app.Name, Program: app.Build(sc)})
 	}
 	grid.L1Sizes = sizes
+	grid.Options = opts
 
 	ex := mhla.Explorer{Workers: workers}
 	if progress {

@@ -42,10 +42,39 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strings"
 
 	"mhla/internal/apps"
 	"mhla/pkg/mhla"
 )
+
+// engineListing renders the -list-engines output: one line per
+// registered engine, sorted by name (the registry order), with the
+// capability flags and the one-line summary. The format is pinned by
+// a golden test — scripts parse it.
+func engineListing() string {
+	var b strings.Builder
+	for _, info := range mhla.Engines() {
+		var caps []string
+		if info.Exact {
+			caps = append(caps, "exact")
+		}
+		if info.Anytime {
+			caps = append(caps, "anytime")
+		}
+		if info.Deterministic {
+			caps = append(caps, "deterministic")
+		}
+		if info.UsesWorkers {
+			caps = append(caps, "workers")
+		}
+		if info.UsesSeed {
+			caps = append(caps, "seed")
+		}
+		fmt.Fprintf(&b, "%-10s %-36s %s\n", info.Name, strings.Join(caps, ","), info.Summary)
+	}
+	return b.String()
+}
 
 func main() {
 	var (
@@ -53,8 +82,11 @@ func main() {
 		l1          = flag.Int64("l1", 0, "on-chip scratchpad bytes (0 = application default)")
 		scale       = flag.String("scale", "paper", "workload scale: paper or test")
 		objective   = flag.String("objective", "energy", "search objective: energy, time or edp")
-		engine      = flag.String("engine", "greedy", "search engine: greedy, bnb or exhaustive")
+		engine      = flag.String("engine", "greedy", "search engine (see -list-engines)")
 		workers     = flag.Int("workers", 0, "worker goroutines for the exact engines (0 = GOMAXPROCS; results are identical at any count)")
+		seed        = flag.Int64("seed", 0, "random seed for the stochastic engines (results are byte-reproducible per seed)")
+		deadline    = flag.Duration("deadline", 0, "wall-clock budget for the anytime engines (0 = none)")
+		listEngines = flag.Bool("list-engines", false, "list the registered search engines")
 		policy      = flag.String("policy", "slide", "copy transfer policy: slide or refetch")
 		noTE        = flag.Bool("no-te", false, "skip the time-extension step")
 		noDMA       = flag.Bool("no-dma", false, "platform without a DMA engine (TE not applicable)")
@@ -96,6 +128,11 @@ func main() {
 	if *memProfile != "" {
 		memProfilePath = *memProfile
 		defer writeMemProfile()
+	}
+
+	if *listEngines {
+		fmt.Print(engineListing())
+		return
 	}
 
 	if *list {
@@ -192,6 +229,10 @@ func main() {
 		mhla.WithEngine(eng),
 		mhla.WithPolicy(pol),
 		mhla.WithWorkers(*workers),
+		mhla.WithSeed(*seed),
+	}
+	if *deadline > 0 {
+		opts = append(opts, mhla.WithDeadline(*deadline))
 	}
 	if *noTE {
 		opts = append(opts, mhla.WithoutTE())

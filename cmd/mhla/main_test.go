@@ -1,0 +1,36 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestEngineListingGolden pins the -list-engines output byte-for-byte:
+// sorted by engine name, stable column layout, one line per engine.
+// Scripts parse this; regenerate with -update after intentional
+// registry changes.
+func TestEngineListingGolden(t *testing.T) {
+	got := engineListing()
+	golden := filepath.Join("testdata", "list_engines.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (set UPDATE_GOLDEN=1 to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("-list-engines output drifted from the golden file:\ngot:\n%swant:\n%s(set UPDATE_GOLDEN=1 to regenerate)", got, want)
+	}
+	// Stability across calls (the registry listing must be sorted, not
+	// map-ordered).
+	if again := engineListing(); again != got {
+		t.Error("-list-engines output is not stable across calls")
+	}
+}

@@ -446,8 +446,11 @@ func TestObjectiveAndEngineStrings(t *testing.T) {
 	if MinEnergy.String() != "energy" || MinTime.String() != "time" || MinEDP.String() != "edp" {
 		t.Error("Objective.String broken")
 	}
-	if Greedy.String() != "greedy" || BranchBound.String() != "branch-and-bound" || Exhaustive.String() != "exhaustive" {
+	if Greedy.String() != "greedy" || BranchBound.String() != "bnb" || Exhaustive.String() != "exhaustive" {
 		t.Error("Engine.String broken")
+	}
+	if Stochastic.String() != "lns" || Portfolio.String() != "portfolio" || Engine("").String() != "greedy" {
+		t.Error("Engine.String broken for new engines")
 	}
 	c := Cost{Energy: 10, Cycles: 20}
 	if MinEDP.Score(c) != 200 {

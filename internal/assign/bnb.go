@@ -420,34 +420,9 @@ func (s *space) seedIncumbent() bool {
 // over the current platform, so the MaxStates fallback path returns a
 // correctly-priced assignment too.
 func (s *space) seedWarm(inc *Assignment) bool {
-	decisions := make([]int, 0, s.levels())
-	for i, arr := range s.arrays {
-		home := inc.ArrayHome[arr.Name]
-		hi := -1
-		for j, h := range s.arrayOpts[i] {
-			if h == home {
-				hi = j
-				break
-			}
-		}
-		if hi < 0 {
-			return false
-		}
-		decisions = append(decisions, hi)
-	}
-	for i, ch := range s.chains {
-		var lv, ly []int
-		if ca := inc.Chains[ch.ID]; ca != nil {
-			lv, ly = ca.Levels, ca.Layers
-		}
-		if len(lv) != len(ly) {
-			return false
-		}
-		oi, ok := s.lookupOption(i, lv, ly)
-		if !ok {
-			return false
-		}
-		decisions = append(decisions, oi)
+	decisions, ok := s.mapDecisions(inc)
+	if !ok {
+		return false
 	}
 	st := newSearchState(s)
 	acc := s.base
@@ -469,6 +444,49 @@ func (s *space) seedWarm(inc *Assignment) bool {
 	s.hasSeed = true
 	s.publishBest(s.seedScore)
 	return true
+}
+
+// mapDecisions maps an assignment's decisions (array homes, chain
+// selections) onto this search's decision tables, in the fixed search
+// order: one option index per decision level. ok is false when a home
+// or selection does not exist in the tables under the current
+// platform — an incumbent from a smaller L1 may name layers or
+// options this point filtered out. The mapping is structural only;
+// capacity feasibility is the caller's replay through a searchState.
+// Both warm-start seeding (seedWarm) and the stochastic engine's
+// greedy seeding (lns.go) read assignments back into decision vectors
+// through this one helper.
+func (s *space) mapDecisions(a *Assignment) ([]int, bool) {
+	decisions := make([]int, 0, s.levels())
+	for i, arr := range s.arrays {
+		home := a.ArrayHome[arr.Name]
+		hi := -1
+		for j, h := range s.arrayOpts[i] {
+			if h == home {
+				hi = j
+				break
+			}
+		}
+		if hi < 0 {
+			return nil, false
+		}
+		decisions = append(decisions, hi)
+	}
+	for i, ch := range s.chains {
+		var lv, ly []int
+		if ca := a.Chains[ch.ID]; ca != nil {
+			lv, ly = ca.Levels, ca.Layers
+		}
+		if len(lv) != len(ly) {
+			return nil, false
+		}
+		oi, ok := s.lookupOption(i, lv, ly)
+		if !ok {
+			return nil, false
+		}
+		decisions = append(decisions, oi)
+	}
+	return decisions, true
 }
 
 // pruneSubtree reports whether the subtree with the given optimistic
@@ -725,5 +743,6 @@ func exactSearch(ctx context.Context, ws *workspace.Workspace, plat *platform.Pl
 		Cost:       best.Evaluate(EvalOptions{}),
 		States:     states,
 		Complete:   complete,
+		Engine:     s.engine,
 	}
 }

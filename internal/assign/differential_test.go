@@ -2,16 +2,21 @@ package assign_test
 
 // The cross-engine differential harness: for hundreds of seeded
 // progen scenarios it asserts the algebraic relations between the
-// three search engines —
+// registered search engines —
 //
 //   - the parallel branch-and-bound Result is byte-identical to the
 //     single-worker run at every worker count,
 //   - branch and bound finds exactly the exhaustive engine's optimum
 //     (same assignment, same cost, never more states),
+//   - every engine in the registry returns a valid assignment that
+//     never beats the exhaustive optimum; exact engines match it,
+//   - the LNS engine is byte-identical at every worker count for a
+//     fixed seed and never regresses below its greedy seed,
 //   - the greedy heuristic never beats the exact optimum.
 //
 // CI runs this under -race, so the worker pool of the exact engines
-// is exercised for data races on every scenario.
+// (and the portfolio's member race) is exercised for data races on
+// every scenario.
 
 import (
 	"context"
@@ -46,6 +51,8 @@ func searchScenario(t *testing.T, sc *progen.Scenario, engine assign.Engine, wor
 	opts := sc.Options
 	opts.Engine = engine
 	opts.Workers = workers
+	// Seeded engines get a scenario-stable seed; the rest ignore it.
+	opts.Seed = sc.Seed
 	res, err := assign.SearchContext(context.Background(), an, sc.Platform, opts)
 	if err != nil {
 		t.Fatalf("seed %d: %v engine: %v", sc.Seed, engine, err)
@@ -122,6 +129,102 @@ func TestDifferentialBnBMatchesExhaustive(t *testing.T) {
 			}
 			if !bb.Assignment.Fits() {
 				t.Error("bnb assignment does not fit")
+			}
+		})
+	}
+}
+
+// TestDifferentialRegistryNeverBeatsExhaustive is the registry-wide
+// sweep: every registered engine — including ones tests register —
+// must return a valid, capacity-feasible assignment whose score never
+// drops below the exhaustive optimum, and must label the result with
+// an engine name the registry resolves. The portfolio must addition-
+// ally carry per-member provenance with exactly one winner.
+func TestDifferentialRegistryNeverBeatsExhaustive(t *testing.T) {
+	engines := assign.Engines()
+	for seed := int64(0); seed < diffSeeds(); seed++ {
+		sc := diffConfig.Generate(seed)
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			ex := searchScenario(t, sc, assign.Exhaustive, 4)
+			if !ex.Complete {
+				t.Fatalf("incomplete exhaustive search (space %d)", sc.Space)
+			}
+			obj := sc.Options.Objective
+			optimum := obj.Score(ex.Cost)
+			for _, info := range engines {
+				res := searchScenario(t, sc, info.Name, 2)
+				if err := res.Assignment.Validate(); err != nil {
+					t.Errorf("engine %v: invalid assignment: %v", info.Name, err)
+				}
+				if !res.Assignment.Fits() {
+					t.Errorf("engine %v: assignment over capacity", info.Name)
+				}
+				if _, _, err := assign.LookupEngine(res.Engine); err != nil {
+					t.Errorf("engine %v: result labelled with unresolvable engine %q", info.Name, res.Engine)
+				}
+				if s := obj.Score(res.Cost); s < optimum-1e-9*math.Max(1, math.Abs(optimum)) {
+					t.Errorf("engine %v score %v beat the exhaustive optimum %v", info.Name, s, optimum)
+				}
+				if info.Exact {
+					if !res.Complete {
+						t.Errorf("exact engine %v incomplete on tractable scenario", info.Name)
+					}
+					if !reflect.DeepEqual(res.Cost, ex.Cost) || !assignmentsEqual(res.Assignment, ex.Assignment) {
+						t.Errorf("exact engine %v differs from the exhaustive optimum:\n%svs\n%s",
+							info.Name, res.Assignment, ex.Assignment)
+					}
+				}
+				if info.Name == assign.Portfolio {
+					if len(res.Portfolio) == 0 {
+						t.Error("portfolio result without provenance")
+					}
+					won := 0
+					for _, run := range res.Portfolio {
+						if run.Won {
+							won++
+						}
+					}
+					if won != 1 {
+						t.Errorf("portfolio provenance has %d winners, want 1: %+v", won, res.Portfolio)
+					}
+				} else if res.Portfolio != nil {
+					t.Errorf("engine %v result carries portfolio provenance", info.Name)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialStochasticDeterminism: for a fixed seed the LNS
+// engine must return a byte-identical Result at every worker count
+// (it is sequential; Workers must not leak into the trajectory), and —
+// being greedy-seeded with a never-regressing incumbent — must never
+// score worse than the greedy heuristic.
+func TestDifferentialStochasticDeterminism(t *testing.T) {
+	for seed := int64(0); seed < diffSeeds(); seed++ {
+		sc := diffConfig.Generate(seed)
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			ref := searchScenario(t, sc, assign.Stochastic, 1)
+			if !ref.Complete {
+				t.Fatal("no-deadline LNS flagged incomplete")
+			}
+			for _, w := range []int{2, 4, 8} {
+				got := searchScenario(t, sc, assign.Stochastic, w)
+				if !reflect.DeepEqual(got.Cost, ref.Cost) ||
+					got.States != ref.States ||
+					got.Complete != ref.Complete ||
+					!assignmentsEqual(got.Assignment, ref.Assignment) {
+					t.Errorf("workers=%d LNS result differs from workers=1 at fixed seed:\n%+v\nvs\n%+v",
+						w, got.Cost, ref.Cost)
+				}
+			}
+			gr := searchScenario(t, sc, assign.Greedy, 1)
+			obj := sc.Options.Objective
+			ls, gs := obj.Score(ref.Cost), obj.Score(gr.Cost)
+			if ls > gs+1e-9*math.Max(1, math.Abs(gs)) {
+				t.Errorf("LNS score %v regressed below its greedy seed %v", ls, gs)
 			}
 		})
 	}

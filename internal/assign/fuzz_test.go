@@ -44,7 +44,14 @@ func FuzzAssign(f *testing.F) {
 		}
 
 		opts := sc.Options
-		opts.Engine = assign.Engine(engineB % 4)    // 3 is invalid
+		// Pick from the registry most of the time, an invalid name
+		// otherwise; the spread keeps stochastic/portfolio runs cheap.
+		engines := []assign.Engine{
+			assign.Greedy, assign.BranchBound, assign.Exhaustive,
+			assign.Stochastic, assign.Portfolio, assign.Engine("nope"),
+		}
+		opts.Engine = engines[int(engineB)%len(engines)]
+		opts.Seed = seed
 		opts.Objective = assign.Objective(objB % 4) // 3 is invalid
 		opts.Policy = reuse.Policy(polB % 3)        // 2 is invalid
 		opts.Workers = int(workers)                 // may be negative

@@ -68,7 +68,7 @@ func greedySearch(ctx context.Context, ws *workspace.Workspace, plat *platform.P
 			opts.Progress(Progress{Engine: Greedy, States: states, Iter: iter + 1, BestScore: curScore})
 		}
 	}
-	return &Result{Assignment: cur, Cost: curCost, States: states, Complete: true}
+	return &Result{Assignment: cur, Cost: curCost, States: states, Complete: true, Engine: Greedy}
 }
 
 // enumerateMoves lists every structurally valid single move from the

@@ -3,6 +3,7 @@ package assign
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"mhla/internal/platform"
 	"mhla/internal/reuse"
@@ -48,41 +49,57 @@ func (o Objective) Score(c Cost) float64 {
 	}
 }
 
-// Engine selects the search algorithm.
-type Engine int
+// Engine names a search algorithm registered in the engine registry
+// (registry.go). The value is the registry key itself — also the wire
+// name the transport layers parse — so adding an engine never touches
+// this type. The zero value selects the default greedy engine.
+type Engine string
 
 const (
 	// Greedy is the steepest-descent heuristic of the MHLA tool:
 	// start from the out-of-the-box placement and repeatedly apply
 	// the best-gain move that still fits.
-	Greedy Engine = iota
+	Greedy Engine = "greedy"
 	// BranchBound explores the full decision space with lower-bound
 	// pruning; optimal, for small/medium problems.
-	BranchBound
+	BranchBound Engine = "bnb"
 	// Exhaustive explores the full decision space without bound
 	// pruning; a reference for tests.
-	Exhaustive
+	Exhaustive Engine = "exhaustive"
+	// Stochastic is the seeded large-neighborhood search: start from
+	// the greedy assignment and repeatedly re-decide a few random
+	// decisions, keeping strict improvements (with deterministic
+	// diversification kicks on stalls). Byte-reproducible for a fixed
+	// Options.Seed; honors Options.Deadline as an anytime budget.
+	Stochastic Engine = "lns"
+	// Portfolio races greedy, branch and bound and the stochastic
+	// engine under one Options.Deadline and returns the best incumbent
+	// with per-member provenance (Result.Portfolio). With no deadline
+	// every member runs to completion and the result is byte-identical
+	// to BranchBound's.
+	Portfolio Engine = "portfolio"
 )
 
-// UsesWorkers reports whether the engine honors Options.Workers: the
-// parallel exact engines do; the greedy heuristic is inherently
-// sequential and ignores it. Transport layers use this to decide
-// which nesting level of a sweep or batch owns the parallelism.
-func (e Engine) UsesWorkers() bool { return e == BranchBound || e == Exhaustive }
-
-// String names the engine.
-func (e Engine) String() string {
-	switch e {
-	case Greedy:
-		return "greedy"
-	case BranchBound:
-		return "branch-and-bound"
-	case Exhaustive:
-		return "exhaustive"
-	default:
-		return fmt.Sprintf("Engine(%d)", int(e))
+// normalized maps the zero value to the default greedy engine.
+func (e Engine) normalized() Engine {
+	if e == "" {
+		return Greedy
 	}
+	return e
 }
+
+// UsesWorkers reports whether the engine honors Options.Workers (the
+// registry's UsesWorkers capability; unknown names report false).
+// Transport layers use this to decide which nesting level of a sweep
+// or batch owns the parallelism.
+func (e Engine) UsesWorkers() bool {
+	info, _, err := LookupEngine(e)
+	return err == nil && info.UsesWorkers
+}
+
+// String names the engine (the registry name; "" prints as the greedy
+// default it selects).
+func (e Engine) String() string { return string(e.normalized()) }
 
 // Progress is a snapshot of a running search, delivered to the
 // Options.Progress callback (callbacks must be fast and must not
@@ -137,6 +154,19 @@ type Options struct {
 	// inherently sequential and ignores Workers. Negative values are
 	// rejected by Validate.
 	Workers int
+	// Seed seeds the stochastic engine's random source (the portfolio
+	// engine passes it to its stochastic member). Any value is valid,
+	// 0 included; for a fixed seed the stochastic engine is
+	// byte-reproducible (absent a Deadline). Engines without the
+	// UsesSeed capability ignore it.
+	Seed int64
+	// Deadline, when positive, bounds the wall-clock time of the
+	// anytime engines (Stochastic, Portfolio): they stop at the
+	// deadline and return the best incumbent found so far, flagged
+	// incomplete. The exact and greedy engines ignore it (bound them
+	// with a context deadline, which aborts instead of truncating).
+	// Negative values are rejected by Validate.
+	Deadline time.Duration
 	// Incumbent, when non-nil, warm-starts the BranchBound engine with
 	// a known-good assignment — typically a neighboring L1-sweep
 	// point's optimum (explore.SweepWorkspace chains sweep points this
@@ -162,9 +192,10 @@ type Options struct {
 // IsZero reports whether every option is unset; callers treat the
 // zero value as "use DefaultOptions".
 func (o Options) IsZero() bool {
-	return o.Policy == 0 && o.Objective == 0 && !o.InPlace && o.Engine == 0 &&
+	return o.Policy == 0 && o.Objective == 0 && !o.InPlace && o.Engine == "" &&
 		!o.GainPerByte && o.MaxStates == 0 && o.MaxGreedyIters == 0 &&
-		o.Workers == 0 && o.Progress == nil && o.Incumbent == nil
+		o.Workers == 0 && o.Seed == 0 && o.Deadline == 0 &&
+		o.Progress == nil && o.Incumbent == nil
 }
 
 // OptionError reports an invalid search option or facade input. It is
@@ -197,10 +228,8 @@ func (o Options) Validate() error {
 	default:
 		return &OptionError{Field: "Objective", Reason: fmt.Sprintf("unknown objective %v", o.Objective)}
 	}
-	switch o.Engine {
-	case Greedy, BranchBound, Exhaustive:
-	default:
-		return &OptionError{Field: "Engine", Reason: fmt.Sprintf("unknown engine %v", o.Engine)}
+	if _, _, err := LookupEngine(o.Engine); err != nil {
+		return err
 	}
 	if o.MaxStates < 0 {
 		return &OptionError{Field: "MaxStates", Reason: fmt.Sprintf("negative state cap %d", o.MaxStates)}
@@ -210,6 +239,9 @@ func (o Options) Validate() error {
 	}
 	if o.Workers < 0 {
 		return &OptionError{Field: "Workers", Reason: fmt.Sprintf("negative worker count %d", o.Workers)}
+	}
+	if o.Deadline < 0 {
+		return &OptionError{Field: "Deadline", Reason: fmt.Sprintf("negative deadline %v", o.Deadline)}
 	}
 	return nil
 }
@@ -243,9 +275,42 @@ type Result struct {
 	// States counts evaluated candidate states (moves for greedy,
 	// leaves for the exact engines).
 	States int
-	// Complete reports whether an exact engine finished within
-	// MaxStates (always true for greedy).
+	// Complete reports whether the engine finished its full search
+	// budget: within MaxStates for the exact engines, the full
+	// iteration budget for the stochastic engine (false when a
+	// Deadline truncated it), the exact member's completion for the
+	// portfolio. Always true for greedy.
 	Complete bool
+	// Engine names the engine that produced the assignment — for the
+	// portfolio, the winning member (the portfolio's own name appears
+	// only when every member was cut off and the out-of-the-box
+	// fallback won). This is the provenance the transport layers
+	// surface per result and per sweep point.
+	Engine Engine
+	// Portfolio is the per-member provenance of a portfolio search,
+	// in the fixed racing order (BranchBound, Greedy, Stochastic);
+	// nil for the plain engines.
+	Portfolio []EngineRun
+}
+
+// EngineRun records one portfolio member's outcome.
+type EngineRun struct {
+	// Engine is the member.
+	Engine Engine
+	// Score is the member's final objective score (+Inf when the
+	// deadline cut it off before it produced a result).
+	Score float64
+	// States counts the member's evaluated candidate states (0 when
+	// it produced no result).
+	States int
+	// Elapsed is the member's wall-clock time. It is measurement, not
+	// search state: equal searches may record different times, so it
+	// is deliberately kept out of every wire encoding.
+	Elapsed time.Duration
+	// Complete reports whether the member finished its full budget.
+	Complete bool
+	// Won marks the member whose result the portfolio returned.
+	Won bool
 }
 
 // Search runs the assignment step on an analyzed program. It is
@@ -293,17 +358,18 @@ func SearchWorkspace(ctx context.Context, ws *workspace.Workspace, plat *platfor
 	if opts.MaxStates == 0 {
 		opts.MaxStates = 500_000
 	}
+	opts.Engine = opts.Engine.normalized()
 	baseline := NewInWorkspace(ws, plat, opts.Policy)
 	baseline.InPlace = opts.InPlace
 	baseCost := baseline.Evaluate(EvalOptions{})
 
-	var res *Result
-	switch opts.Engine {
-	case Greedy:
-		res = greedySearch(ctx, ws, plat, opts)
-	default: // BranchBound or Exhaustive; Validate rejected the rest.
-		res = exactSearch(ctx, ws, plat, opts, opts.Engine == BranchBound)
+	// Validate resolved the name already; re-resolving here keeps the
+	// dispatch a single registry read.
+	_, run, err := LookupEngine(opts.Engine)
+	if err != nil {
+		return nil, err
 	}
+	res := run(ctx, ws, plat, opts)
 	if res == nil {
 		return nil, ctx.Err()
 	}

@@ -1,0 +1,165 @@
+package assign
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"mhla/internal/platform"
+	"mhla/internal/workspace"
+)
+
+// This file is the engine registry: the single place search algorithms
+// are named, described and dispatched. The hard-wired greedy/BnB/
+// exhaustive switch grew a stochastic and a portfolio engine, and the
+// transport layers (facade, server, CLIs) need one authoritative list
+// of names and capabilities instead of three parallel switch
+// statements — adding an engine is now one RegisterEngine call.
+
+// EngineFunc runs one search algorithm over a precompiled workspace.
+// It returns nil when ctx is cancelled before a result exists; the
+// anytime engines (Anytime capability) instead return their best
+// incumbent, flagged incomplete, once they hold one. Implementations
+// must not mutate the workspace and must set Result.Engine; Baseline
+// is filled in by SearchWorkspace.
+type EngineFunc func(ctx context.Context, ws *workspace.Workspace, plat *platform.Platform, opts Options) *Result
+
+// EngineInfo describes one registered engine: its registry name (also
+// the wire name transport layers parse) and its capability flags,
+// which transport layers and the differential harness read instead of
+// hard-coding per-engine knowledge.
+type EngineInfo struct {
+	// Name is the registry key, e.g. "greedy" or "bnb".
+	Name Engine
+	// Summary is a one-line human description for engine listings.
+	Summary string
+	// Exact engines prove optimality: a Complete result is the global
+	// optimum, byte-identical to the exhaustive reference.
+	Exact bool
+	// Anytime engines honor Options.Deadline, returning the best
+	// incumbent found so far (flagged incomplete) instead of nil when
+	// the deadline or the context expires mid-search.
+	Anytime bool
+	// Deterministic engines return a pure function of (workspace,
+	// platform, options) when no Deadline is set — byte-identical at
+	// every worker count and, for seeded engines, per seed.
+	Deterministic bool
+	// UsesWorkers reports whether the engine honors Options.Workers;
+	// transport layers use it to decide which nesting level of a sweep
+	// or batch owns the parallelism.
+	UsesWorkers bool
+	// UsesSeed reports whether the engine reads Options.Seed.
+	UsesSeed bool
+}
+
+// engineRegistry holds the registered engines. Built-ins register in
+// init; external packages may add engines at program start (the map is
+// guarded for safety, but registration after searches began is not a
+// supported pattern).
+var engineRegistry = struct {
+	sync.RWMutex
+	entries map[Engine]engineEntry
+}{entries: map[Engine]engineEntry{}}
+
+type engineEntry struct {
+	info EngineInfo
+	fn   EngineFunc
+}
+
+// RegisterEngine adds an engine to the registry. Empty names, nil
+// functions and duplicate names are rejected with a typed
+// *OptionError — a duplicate registration is always a bug, never a
+// legitimate override.
+func RegisterEngine(info EngineInfo, fn EngineFunc) error {
+	if info.Name == "" {
+		return &OptionError{Field: "Engine", Reason: "empty engine name"}
+	}
+	if fn == nil {
+		return &OptionError{Field: "Engine", Reason: fmt.Sprintf("nil engine function for %q", info.Name)}
+	}
+	engineRegistry.Lock()
+	defer engineRegistry.Unlock()
+	if _, dup := engineRegistry.entries[info.Name]; dup {
+		return &OptionError{Field: "Engine", Reason: fmt.Sprintf("engine %q already registered", info.Name)}
+	}
+	engineRegistry.entries[info.Name] = engineEntry{info: info, fn: fn}
+	return nil
+}
+
+// LookupEngine resolves an engine name ("" means the default greedy
+// engine). Unknown names fail with a typed *OptionError naming the
+// Engine field, the same rejection Options.Validate reports.
+func LookupEngine(name Engine) (EngineInfo, EngineFunc, error) {
+	name = name.normalized()
+	engineRegistry.RLock()
+	e, ok := engineRegistry.entries[name]
+	engineRegistry.RUnlock()
+	if !ok {
+		return EngineInfo{}, nil, &OptionError{Field: "Engine", Reason: fmt.Sprintf("unknown engine %q", name)}
+	}
+	return e.info, e.fn, nil
+}
+
+// Engines lists the registered engines sorted by name. The slice is
+// freshly allocated; callers may keep it.
+func Engines() []EngineInfo {
+	engineRegistry.RLock()
+	infos := make([]EngineInfo, 0, len(engineRegistry.entries))
+	for _, e := range engineRegistry.entries {
+		infos = append(infos, e.info)
+	}
+	engineRegistry.RUnlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
+}
+
+// mustRegisterEngine registers a built-in engine; the built-in set is
+// registered exactly once from init, so failure is a programming
+// error.
+func mustRegisterEngine(info EngineInfo, fn EngineFunc) {
+	if err := RegisterEngine(info, fn); err != nil {
+		panic(err)
+	}
+}
+
+func init() {
+	mustRegisterEngine(EngineInfo{
+		Name:          Greedy,
+		Summary:       "steepest-descent heuristic of the MHLA tool (default)",
+		Deterministic: true,
+	}, greedySearch)
+	mustRegisterEngine(EngineInfo{
+		Name:          BranchBound,
+		Summary:       "parallel branch and bound; optimal for small/medium problems",
+		Exact:         true,
+		Deterministic: true,
+		UsesWorkers:   true,
+	}, func(ctx context.Context, ws *workspace.Workspace, plat *platform.Platform, opts Options) *Result {
+		return exactSearch(ctx, ws, plat, opts, true)
+	})
+	mustRegisterEngine(EngineInfo{
+		Name:          Exhaustive,
+		Summary:       "unpruned full enumeration; the reference oracle for tests",
+		Exact:         true,
+		Deterministic: true,
+		UsesWorkers:   true,
+	}, func(ctx context.Context, ws *workspace.Workspace, plat *platform.Platform, opts Options) *Result {
+		return exactSearch(ctx, ws, plat, opts, false)
+	})
+	mustRegisterEngine(EngineInfo{
+		Name:          Stochastic,
+		Summary:       "seeded large-neighborhood search over assignments, greedy-seeded",
+		Anytime:       true,
+		Deterministic: true,
+		UsesSeed:      true,
+	}, lnsSearch)
+	mustRegisterEngine(EngineInfo{
+		Name:          Portfolio,
+		Summary:       "races greedy, branch and bound and LNS under one deadline",
+		Anytime:       true,
+		Deterministic: true,
+		UsesWorkers:   true,
+		UsesSeed:      true,
+	}, portfolioSearch)
+}

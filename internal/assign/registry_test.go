@@ -1,0 +1,118 @@
+package assign_test
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"testing"
+
+	"mhla/internal/assign"
+	"mhla/internal/platform"
+	"mhla/internal/workspace"
+)
+
+// TestRegistryBuiltins pins the built-in engine set: the five names,
+// sorted listing order, and the capability flags the transport layers
+// and the differential harness dispatch on.
+func TestRegistryBuiltins(t *testing.T) {
+	infos := assign.Engines()
+	var names []string
+	for _, info := range infos {
+		names = append(names, string(info.Name))
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("Engines() not sorted: %v", names)
+	}
+	want := map[assign.Engine]assign.EngineInfo{
+		assign.Greedy:      {Name: assign.Greedy, Deterministic: true},
+		assign.BranchBound: {Name: assign.BranchBound, Exact: true, Deterministic: true, UsesWorkers: true},
+		assign.Exhaustive:  {Name: assign.Exhaustive, Exact: true, Deterministic: true, UsesWorkers: true},
+		assign.Stochastic:  {Name: assign.Stochastic, Anytime: true, Deterministic: true, UsesSeed: true},
+		assign.Portfolio:   {Name: assign.Portfolio, Anytime: true, Deterministic: true, UsesWorkers: true, UsesSeed: true},
+	}
+	found := 0
+	for _, info := range infos {
+		w, ok := want[info.Name]
+		if !ok {
+			continue // an engine registered by another test is fine
+		}
+		found++
+		if info.Summary == "" {
+			t.Errorf("engine %q has no summary", info.Name)
+		}
+		info.Summary = ""
+		if info != w {
+			t.Errorf("engine %q capabilities = %+v, want %+v", info.Name, info, w)
+		}
+	}
+	if found != len(want) {
+		t.Errorf("found %d built-in engines, want %d (got %v)", found, len(want), names)
+	}
+}
+
+// TestRegistryLookup: "" normalizes to greedy, known names resolve,
+// unknown names fail with the typed *OptionError naming the Engine
+// field — the same rejection Options.Validate reports.
+func TestRegistryLookup(t *testing.T) {
+	info, fn, err := assign.LookupEngine("")
+	if err != nil || info.Name != assign.Greedy || fn == nil {
+		t.Errorf(`LookupEngine("") = %+v, %v; want greedy`, info, err)
+	}
+	if _, _, err := assign.LookupEngine(assign.Portfolio); err != nil {
+		t.Errorf("LookupEngine(portfolio): %v", err)
+	}
+	_, _, err = assign.LookupEngine("quantum")
+	var oe *assign.OptionError
+	if !errors.As(err, &oe) || oe.Field != "Engine" {
+		t.Errorf("LookupEngine(quantum) = %v, want *OptionError{Field: Engine}", err)
+	}
+}
+
+// TestRegistryRegisterRejections: duplicate names, empty names and nil
+// functions are rejected with typed errors and leave the registry
+// untouched.
+func TestRegistryRegisterRejections(t *testing.T) {
+	noop := func(context.Context, *workspace.Workspace, *platform.Platform, assign.Options) *assign.Result {
+		return nil
+	}
+	var oe *assign.OptionError
+	if err := assign.RegisterEngine(assign.EngineInfo{Name: assign.Greedy}, noop); !errors.As(err, &oe) {
+		t.Errorf("duplicate registration = %v, want *OptionError", err)
+	}
+	if err := assign.RegisterEngine(assign.EngineInfo{Name: ""}, noop); !errors.As(err, &oe) {
+		t.Errorf("empty-name registration = %v, want *OptionError", err)
+	}
+	if err := assign.RegisterEngine(assign.EngineInfo{Name: "null"}, nil); !errors.As(err, &oe) {
+		t.Errorf("nil-fn registration = %v, want *OptionError", err)
+	}
+	if _, _, err := assign.LookupEngine("null"); err == nil {
+		t.Error("rejected registration still resolvable")
+	}
+	before := len(assign.Engines())
+	// The registration is process-wide, so the test engine must behave:
+	// it delegates to greedy (relabelled), keeping the registry-wide
+	// differential sweep honest if it observes the extra entry.
+	name := assign.Engine("registry-test-engine")
+	_, greedyFn, err := assign.LookupEngine(assign.Greedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped := func(ctx context.Context, ws *workspace.Workspace, plat *platform.Platform, opts assign.Options) *assign.Result {
+		res := greedyFn(ctx, ws, plat, opts)
+		if res == nil {
+			return nil
+		}
+		r := *res
+		r.Engine = name
+		return &r
+	}
+	if err := assign.RegisterEngine(assign.EngineInfo{Name: name, Summary: "test", Deterministic: true}, wrapped); err != nil {
+		t.Fatalf("fresh registration failed: %v", err)
+	}
+	if got := len(assign.Engines()); got != before+1 {
+		t.Errorf("Engines() length %d after registration, want %d", got, before+1)
+	}
+	if err := assign.RegisterEngine(assign.EngineInfo{Name: name}, noop); !errors.As(err, &oe) {
+		t.Errorf("re-registration = %v, want *OptionError", err)
+	}
+}

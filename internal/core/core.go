@@ -114,6 +114,13 @@ type Result struct {
 
 	// SearchStates counts states evaluated by the assignment search.
 	SearchStates int
+	// Engine is the engine that produced the assignment — the
+	// configured engine for plain searches, the winning member for
+	// the portfolio.
+	Engine assign.Engine
+	// Portfolio holds the portfolio engine's per-member provenance
+	// (nil for plain engines).
+	Portfolio []assign.EngineRun
 }
 
 // Run executes the full flow on a program. It is RunContext with a
@@ -261,6 +268,8 @@ func beginCompiled(ctx context.Context, ws *workspace.Workspace, cfg Config, sea
 	res.Original = sr.Baseline
 	res.MHLA = sr.Cost
 	res.SearchStates = sr.States
+	res.Engine = sr.Engine
+	res.Portfolio = sr.Portfolio
 	return &Pending{cfg: cfg, res: res, enter: enter}, nil
 }
 

@@ -357,16 +357,17 @@ func (s *Sweep) TEPoints() []pareto.Point {
 func (s *Sweep) Frontier() []pareto.Point { return pareto.Frontier(s.TEPoints()) }
 
 // CSV renders the sweep as comma-separated values with a header, one
-// row per size: the four operating points in cycles and the energies.
+// row per size: the four operating points in cycles, the energies,
+// and the engine that produced the point's assignment.
 func (s *Sweep) CSV() string {
 	var b strings.Builder
-	b.WriteString("app,l1_bytes,orig_cycles,mhla_cycles,te_cycles,ideal_cycles,orig_pj,mhla_pj\n")
+	b.WriteString("app,l1_bytes,orig_cycles,mhla_cycles,te_cycles,ideal_cycles,orig_pj,mhla_pj,engine\n")
 	for _, p := range s.Points {
 		r := p.Result
-		fmt.Fprintf(&b, "%s,%d,%d,%d,%d,%d,%.0f,%.0f\n",
+		fmt.Fprintf(&b, "%s,%d,%d,%d,%d,%d,%.0f,%.0f,%s\n",
 			s.Program, p.L1,
 			r.Original.Cycles, r.MHLA.Cycles, r.TE.Cycles, r.Ideal.Cycles,
-			r.Original.Energy, r.MHLA.Energy)
+			r.Original.Energy, r.MHLA.Energy, r.Engine)
 	}
 	return b.String()
 }
@@ -395,6 +396,9 @@ type ResultFields struct {
 	MHLAPJ       float64 `json:"mhla_pj"`
 	SearchStates int     `json:"search_states"`
 	TEApplicable bool    `json:"te_applicable"`
+	// Engine is the engine that produced the point's assignment —
+	// for the portfolio engine, the member that won the race.
+	Engine string `json:"engine"`
 }
 
 // ResultFieldsOf extracts the shared wire fields of a flow result.
@@ -408,6 +412,7 @@ func ResultFieldsOf(r *core.Result) ResultFields {
 		MHLAPJ:       r.MHLA.Energy,
 		SearchStates: r.SearchStates,
 		TEApplicable: r.Plan != nil && r.Plan.Applicable,
+		Engine:       r.Engine.String(),
 	}
 }
 

@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -104,6 +105,56 @@ func TestSweepCSVAndString(t *testing.T) {
 	s := sw.String()
 	if !strings.Contains(s, "exploration of sobel") || !strings.Contains(s, "512") {
 		t.Errorf("String = %q", s)
+	}
+}
+
+// TestSweepSchemaEngineProvenance pins the wire schemas of a sweep
+// point: the snake_case JSON keys — including the engine provenance
+// field — and the CSV engine column, for every engine in the
+// registry. Renaming a field here breaks external consumers of
+// /v1/sweep and mhla-explore -csv.
+func TestSweepSchemaEngineProvenance(t *testing.T) {
+	app, _ := apps.ByName("sobel")
+	p := app.Build(apps.Test)
+	for _, engine := range []assign.Engine{assign.Greedy, assign.BranchBound, assign.Stochastic} {
+		opts := assign.DefaultOptions()
+		opts.Engine = engine
+		sw, err := Run(p, []int64{512}, opts)
+		if err != nil {
+			t.Fatalf("%v: Run: %v", engine, err)
+		}
+		data, err := sw.JSON()
+		if err != nil {
+			t.Fatalf("%v: JSON: %v", engine, err)
+		}
+		var decoded struct {
+			Points []map[string]any `json:"points"`
+		}
+		if err := json.Unmarshal(data, &decoded); err != nil {
+			t.Fatalf("%v: sweep JSON invalid: %v", engine, err)
+		}
+		if len(decoded.Points) != 1 {
+			t.Fatalf("%v: %d points", engine, len(decoded.Points))
+		}
+		for _, key := range []string{
+			"l1_bytes", "orig_cycles", "mhla_cycles", "te_cycles",
+			"ideal_cycles", "orig_pj", "mhla_pj", "search_states",
+			"te_applicable", "engine",
+		} {
+			if _, ok := decoded.Points[0][key]; !ok {
+				t.Errorf("%v: sweep point missing key %q", engine, key)
+			}
+		}
+		if got := decoded.Points[0]["engine"]; got != engine.String() {
+			t.Errorf("point engine = %v, want %v", got, engine)
+		}
+		csv := sw.CSV()
+		if !strings.HasPrefix(csv, "app,l1_bytes,orig_cycles,mhla_cycles,te_cycles,ideal_cycles,orig_pj,mhla_pj,engine\n") {
+			t.Errorf("%v: CSV header drifted: %q", engine, csv)
+		}
+		if !strings.Contains(csv, ","+engine.String()+"\n") {
+			t.Errorf("%v: CSV row missing engine column: %q", engine, csv)
+		}
 	}
 }
 

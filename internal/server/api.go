@@ -23,6 +23,11 @@ const statusClientClosed = 499
 // must never translate into goroutine or state allocations.
 const maxWorkersParam = 64
 
+// maxDeadlineMS bounds the deadline_ms request parameter: the anytime
+// engines honor it as a wall-clock budget, and an unbounded value
+// would let one request hold a worker slot indefinitely.
+const maxDeadlineMS = 60_000
+
 // maxSweepSizes bounds the sizes of one sweep request.
 const maxSweepSizes = 64
 
@@ -176,6 +181,8 @@ type searchParams struct {
 	Policy       string `json:"policy,omitempty"`
 	Workers      int    `json:"workers,omitempty"`
 	MaxStates    int    `json:"max_states,omitempty"`
+	Seed         int64  `json:"seed,omitempty"`
+	DeadlineMS   int64  `json:"deadline_ms,omitempty"`
 	DisableTE    bool   `json:"disable_te,omitempty"`
 	NoInPlace    bool   `json:"no_in_place,omitempty"`
 	AbsoluteGain bool   `json:"absolute_gain,omitempty"`
@@ -214,6 +221,15 @@ func (p searchParams) options(maxStates int) ([]mhla.Option, *apiError) {
 	}
 	if p.MaxStates < 0 || p.MaxStates > maxStates {
 		return nil, badRequest("invalid_option", "max_states %d out of range [0, %d]", p.MaxStates, maxStates)
+	}
+	if p.Seed != 0 {
+		opts = append(opts, mhla.WithSeed(p.Seed))
+	}
+	if p.DeadlineMS < 0 || p.DeadlineMS > maxDeadlineMS {
+		return nil, badRequest("invalid_option", "deadline_ms %d out of range [0, %d]", p.DeadlineMS, maxDeadlineMS)
+	}
+	if p.DeadlineMS > 0 {
+		opts = append(opts, mhla.WithDeadline(time.Duration(p.DeadlineMS)*time.Millisecond))
 	}
 	if p.MaxStates > 0 {
 		opts = append(opts, mhla.WithMaxStates(p.MaxStates))

@@ -1,0 +1,127 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mhla/internal/apps"
+	"mhla/pkg/mhla"
+)
+
+// FuzzEngineSelect drives arbitrary engine names, seeds and deadlines
+// through both engine-selection layers: the facade (ParseEngine +
+// WithSeed/WithDeadline + Run) and the /v1/run decode path. The
+// contract on both is strict: an unknown engine name or an
+// out-of-range deadline is a typed *OptionError at the facade and a
+// typed 4xx envelope at the server — never a panic, never a 5xx, and
+// never a silent fallback to a default engine.
+func FuzzEngineSelect(f *testing.F) {
+	srv := New(Config{
+		CacheEntries: 4,
+		MaxBodyBytes: 1 << 16,
+		MaxStates:    5_000,
+		MaxInFlight:  2,
+	})
+	handler := srv.Handler()
+	app, err := apps.ByName("durbin")
+	if err != nil {
+		f.Fatal(err)
+	}
+	prog := app.Build(apps.Test)
+
+	f.Add("greedy", int64(0), int64(0))
+	f.Add("bnb", int64(1), int64(50))
+	f.Add("exhaustive", int64(2), int64(0))
+	f.Add("lns", int64(42), int64(20))
+	f.Add("portfolio", int64(7), int64(25))
+	f.Add("quantum", int64(-3), int64(-5))
+	f.Add("", int64(0), int64(9_000_000))
+	f.Add("branch-and-bound", int64(1), int64(60_001))
+	f.Add("LNS\x00", int64(-1), int64(1))
+
+	f.Fuzz(func(t *testing.T, engine string, seed, deadlineMS int64) {
+		// Out-of-range deadlines are rejected before any search runs,
+		// so they stay verbatim; in-range ones are folded down so a
+		// lucky mutation cannot hold the fuzzer for the server's full
+		// 60s deadline cap (the anytime engines spend the whole budget
+		// by design).
+		if deadlineMS > 0 && deadlineMS <= 60_000 {
+			deadlineMS %= 100
+		}
+
+		// Facade path.
+		eng, perr := mhla.ParseEngine(engine)
+		var oe *mhla.OptionError
+		if perr != nil && !errors.As(perr, &oe) {
+			t.Fatalf("ParseEngine(%q) returned untyped error %v", engine, perr)
+		}
+		if perr == nil {
+			opts := []mhla.Option{
+				mhla.WithEngine(eng),
+				mhla.WithSeed(seed),
+				mhla.WithL1(512),
+				mhla.WithMaxStates(2000),
+				mhla.WithDeadline(time.Duration(deadlineMS) * time.Millisecond),
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			_, rerr := mhla.Run(ctx, prog, opts...)
+			cancel()
+			if rerr != nil && !errors.As(rerr, &oe) && !errors.Is(rerr, context.DeadlineExceeded) {
+				t.Fatalf("Run(engine=%q seed=%d deadline=%dms) returned untyped error %v",
+					engine, seed, deadlineMS, rerr)
+			}
+			if rerr != nil && errors.As(rerr, &oe) && deadlineMS >= 0 {
+				t.Fatalf("valid options rejected: engine=%q seed=%d deadline=%dms: %v",
+					engine, seed, deadlineMS, rerr)
+			}
+		}
+
+		// Server decode path: the same knobs through /v1/run.
+		body, err := json.Marshal(map[string]any{
+			"app": "durbin", "scale": "test", "l1_bytes": 512,
+			"engine": engine, "seed": seed, "deadline_ms": deadlineMS,
+			"max_states": 2000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		req := httptest.NewRequest(http.MethodPost, "/v1/run", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+
+		resp := rec.Result()
+		defer resp.Body.Close()
+		if resp.StatusCode >= 500 {
+			t.Fatalf("/v1/run answered %d for engine=%q seed=%d deadline_ms=%d:\n%s",
+				resp.StatusCode, engine, seed, deadlineMS, rec.Body.Bytes())
+		}
+		// The facade rejects "" (callers skip WithEngine instead); the
+		// wire knob is optional, so "" means the default engine there.
+		wantReject := (engine != "" && perr != nil) || deadlineMS < 0 || deadlineMS > 60_000
+		if wantReject {
+			if resp.StatusCode == http.StatusOK {
+				t.Fatalf("/v1/run accepted invalid engine=%q deadline_ms=%d", engine, deadlineMS)
+			}
+			var eb errorBody
+			if err := json.Unmarshal(rec.Body.Bytes(), &eb); err != nil || eb.Error.Code == "" {
+				t.Fatalf("/v1/run %d rejection is not the typed envelope:\n%s",
+					resp.StatusCode, rec.Body.Bytes())
+			}
+			return
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/v1/run rejected valid engine=%q seed=%d deadline_ms=%d with %d:\n%s",
+				engine, seed, deadlineMS, resp.StatusCode, rec.Body.Bytes())
+		}
+		if !json.Valid(rec.Body.Bytes()) {
+			t.Fatalf("/v1/run 200 response is not valid JSON:\n%s", rec.Body.Bytes())
+		}
+	})
+}

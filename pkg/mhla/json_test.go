@@ -55,7 +55,7 @@ func TestResultJSONDeterministic(t *testing.T) {
 	}
 	for _, key := range []string{
 		"app", "platform", "orig_cycles", "mhla_cycles", "te_cycles",
-		"ideal_cycles", "orig_pj", "mhla_pj", "search_states", "te_applicable",
+		"ideal_cycles", "orig_pj", "mhla_pj", "search_states", "te_applicable", "engine",
 	} {
 		if _, ok := decoded[key]; !ok {
 			t.Errorf("ResultJSON missing key %q", key)

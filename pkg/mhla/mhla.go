@@ -32,6 +32,8 @@ package mhla
 import (
 	"context"
 	"fmt"
+	"strings"
+	"time"
 
 	"mhla/internal/assign"
 	"mhla/internal/core"
@@ -135,10 +137,38 @@ func WithObjective(o Objective) Option {
 	return func(c *config) { c.search.Objective = o }
 }
 
-// WithEngine selects the search algorithm: Greedy (default), BnB or
-// Exhaustive.
+// WithEngine selects the search algorithm by registry name: Greedy
+// (default), BnB, Exhaustive, Stochastic or Portfolio — see Engines
+// for the live list and each engine's capabilities. Unknown names are
+// rejected with a typed *OptionError.
 func WithEngine(e Engine) Option {
 	return func(c *config) { c.search.Engine = e }
+}
+
+// WithSeed seeds the stochastic engine's random source (the portfolio
+// engine hands it to its stochastic member). Any value is valid, 0
+// included; for a fixed seed the stochastic engine is
+// byte-reproducible (absent a deadline). Engines without the seed
+// capability ignore it.
+func WithSeed(seed int64) Option {
+	return func(c *config) { c.search.Seed = seed }
+}
+
+// WithDeadline bounds the wall-clock time of the anytime engines
+// (Stochastic, Portfolio): they stop at the deadline and return the
+// best incumbent found so far, flagged incomplete. 0 (the default)
+// means no deadline; the greedy and exact engines ignore the setting
+// (bound them with a context deadline, which aborts instead of
+// truncating). Negative durations are rejected with a typed
+// *OptionError.
+func WithDeadline(d time.Duration) Option {
+	return func(c *config) {
+		if d < 0 {
+			c.fail("Deadline", fmt.Sprintf("negative deadline %v", d))
+			return
+		}
+		c.search.Deadline = d
+	}
 }
 
 // WithPolicy selects the copy transfer policy: Slide (default,
@@ -346,18 +376,30 @@ func ParseObjective(s string) (Objective, error) {
 	return 0, fmt.Errorf("mhla: unknown objective %q (want energy, time or edp)", s)
 }
 
-// ParseEngine parses an engine name: "greedy", "bnb" or "exhaustive".
+// ParseEngine parses an engine name against the engine registry
+// (e.g. "greedy", "bnb", "exhaustive", "lns", "portfolio"; see
+// Engines for the live list). The empty string is rejected — callers
+// with an optional engine knob should skip WithEngine instead.
 func ParseEngine(s string) (Engine, error) {
-	switch s {
-	case "greedy":
-		return Greedy, nil
-	case "bnb":
-		return BnB, nil
-	case "exhaustive":
-		return Exhaustive, nil
+	if s != "" {
+		if info, _, err := assign.LookupEngine(Engine(s)); err == nil {
+			return info.Name, nil
+		}
 	}
-	return 0, fmt.Errorf("mhla: unknown engine %q (want greedy, bnb or exhaustive)", s)
+	names := make([]string, 0, 8)
+	for _, info := range Engines() {
+		names = append(names, string(info.Name))
+	}
+	return "", &OptionError{
+		Field:  "Engine",
+		Reason: fmt.Sprintf("unknown engine %q (want one of %s)", s, strings.Join(names, ", ")),
+	}
 }
+
+// Engines lists the registered search engines sorted by name, with
+// their capability flags (exact/anytime/deterministic, whether they
+// honor Workers and Seed).
+func Engines() []EngineInfo { return assign.Engines() }
 
 // ParsePolicy parses a transfer policy name: "slide" or "refetch".
 func ParsePolicy(s string) (Policy, error) {

@@ -64,8 +64,14 @@ type (
 	StreamKey = assign.StreamKey
 	// Objective selects what the search minimizes.
 	Objective = assign.Objective
-	// Engine selects the search algorithm.
+	// Engine selects the search algorithm by registry name.
 	Engine = assign.Engine
+	// EngineInfo describes one registered engine and its capability
+	// flags (see Engines).
+	EngineInfo = assign.EngineInfo
+	// EngineRun is one portfolio member's provenance record
+	// (SearchResult.Portfolio).
+	EngineRun = assign.EngineRun
 	// SearchResult is the outcome of the assignment step alone.
 	SearchResult = assign.Result
 	// SearchProgress is one snapshot of a running assignment search.
@@ -142,6 +148,14 @@ const (
 	// Exhaustive explores the full decision space without pruning; a
 	// reference for tests.
 	Exhaustive = assign.Exhaustive
+	// Stochastic is the seeded large-neighborhood search over
+	// assignments: greedy-seeded, byte-reproducible per WithSeed,
+	// anytime under WithDeadline.
+	Stochastic = assign.Stochastic
+	// Portfolio races Greedy, BnB and Stochastic under one
+	// WithDeadline and returns the best incumbent with per-member
+	// provenance.
+	Portfolio = assign.Portfolio
 )
 
 // Copy transfer policies.
